@@ -1,0 +1,458 @@
+//! One-dimensional hierarchical hat basis of the paper's Eq. (5)–(7).
+//!
+//! Levels are **one-based**, exactly as in Sec. III of the paper:
+//!
+//! * level 1 has the single index `i = 1`, grid point `x = 0.5`, and the basis
+//!   function is the **constant 1** on `[0, 1]` — this is what makes the
+//!   compression of Sec. IV-B possible, because level-1 factors contribute
+//!   nothing to the tensor product and can be eliminated;
+//! * level 2 has the even indices `i ∈ {0, 2}` (the two boundary points
+//!   `x = 0` and `x = 1`);
+//! * level `l ≥ 3` has the odd indices `i ∈ {1, 3, …, 2^{l−1} − 1}` with
+//!   points `x = i · 2^{1−l}`.
+//!
+//! The basis value for `l ≥ 2` is `max(1 − 2^{l−1} · |x − x_{l,i}|, 0)`,
+//! which the compressed kernels evaluate as `max(1 − |ł·x − í|, 0)` with the
+//! pre-scaled pair `(ł, í) = (2^{l−1}, i)` (see [`scaled_pair`]).
+
+/// Maximum supported one-based level.
+///
+/// The compressed encoding stores `2^{l−1}` in a `u16` (mirroring the
+/// `Index<uint16_t>` struct of the paper's kernel listing), so levels are
+/// capped at 16 (`2^15 = 32768` fits, as do all indices `i ≤ 2^{l−1}`).
+pub const MAX_LEVEL: u8 = 16;
+
+/// Number of grid points a one-dimensional level contributes: 1, 2, then
+/// `2^{l−2}` for `l ≥ 3`.
+#[inline]
+pub fn points_in_level(level: u8) -> u64 {
+    match level {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        l => 1u64 << (l - 2),
+    }
+}
+
+/// The indices populating a one-dimensional level, in ascending order.
+pub fn level_indices(level: u8) -> Vec<u32> {
+    match level {
+        0 => Vec::new(),
+        1 => vec![1],
+        2 => vec![0, 2],
+        l => (0..1u32 << (l - 1)).filter(|i| i % 2 == 1).collect(),
+    }
+}
+
+/// Grid-point coordinate `x_{l,i}` per Eq. (6).
+#[inline]
+pub fn point(level: u8, index: u32) -> f64 {
+    debug_assert!(valid(level, index), "invalid (l,i)=({level},{index})");
+    if level == 1 {
+        0.5
+    } else {
+        index as f64 * exp2i(1 - level as i32)
+    }
+}
+
+/// Hat-function value `φ_{l,i}(x)` per Eq. (5). The level-1 function is the
+/// constant 1.
+#[inline]
+pub fn hat(level: u8, index: u32, x: f64) -> f64 {
+    if level == 1 {
+        1.0
+    } else {
+        let scale = exp2i(level as i32 - 1);
+        (1.0 - (scale * x - index as f64).abs()).max(0.0)
+    }
+}
+
+/// The pre-scaled `(ł, í) = (2^{l−1}, i)` pair used by the compressed data
+/// format (Fig. 3b of the paper shows exactly these values: level-2 points
+/// become `(2,0)`/`(2,2)`, level-3 points `(4,1)`/`(4,3)`, …).
+///
+/// Level 1 maps to `(0, 0)`, the pair that the zero-elimination step drops.
+#[inline]
+pub fn scaled_pair(level: u8, index: u32) -> (u16, u16) {
+    debug_assert!(level <= MAX_LEVEL);
+    if level == 1 {
+        (0, 0)
+    } else {
+        (1u16 << (level - 1), index as u16)
+    }
+}
+
+/// Evaluates the hat function from its pre-scaled pair: `1 − |ł·x − í|`
+/// **without** clamping — kernels clamp (`fmax(0, ·)`) themselves so that a
+/// non-positive value can short-circuit whole chains, exactly as in the
+/// paper's Fig. 5 listing.
+#[inline(always)]
+pub fn linear_basis(x: f64, l: u16, i: u16) -> f64 {
+    1.0 - (x * l as f64 - i as f64).abs()
+}
+
+/// The unique index at `level` whose hat function is non-zero at `x`,
+/// together with its basis value, or `None` when `x` falls on a knot where
+/// every function of that level vanishes.
+///
+/// Within a single 1-D level the hat supports tile `[0,1]` with overlap
+/// only at knots, so hash-table ASG evaluation (the conventional storage
+/// scheme the paper's compression replaces, Sec. IV-B) visits exactly one
+/// candidate per `(dimension, level)`.
+#[inline]
+pub fn support_index(level: u8, x: f64) -> Option<(u32, f64)> {
+    debug_assert!((0.0..=1.0).contains(&x));
+    match level {
+        1 => Some((1, 1.0)),
+        2 => {
+            // φ_{2,0} lives on [0, ½], φ_{2,2} on [½, 1]; both vanish at ½.
+            let (i, v) = if x < 0.5 { (0, 1.0 - 2.0 * x) } else { (2, 2.0 * x - 1.0) };
+            (v > 0.0).then_some((i, v))
+        }
+        l => {
+            let y = x * exp2i(l as i32 - 1);
+            let m = y as u32; // floor for y >= 0
+            let i = (m | 1).min((1u32 << (l - 1)) - 1);
+            let v = 1.0 - (y - i as f64).abs();
+            (v > 0.0).then_some((i, v))
+        }
+    }
+}
+
+/// `2^e` for small integer exponents, exact in f64.
+#[inline]
+pub fn exp2i(e: i32) -> f64 {
+    debug_assert!((-60..=60).contains(&e));
+    f64::from_bits((((1023 + e) as u64) << 52) as u64)
+}
+
+/// Whether `(level, index)` denotes a grid point of the hierarchy.
+#[inline]
+pub fn valid(level: u8, index: u32) -> bool {
+    match level {
+        0 => false,
+        1 => index == 1,
+        2 => index == 0 || index == 2,
+        l if l <= MAX_LEVEL => index % 2 == 1 && index < (1u32 << (l - 1)),
+        _ => false,
+    }
+}
+
+/// Hierarchical children of a point, per the refinement rule of Sec. III
+/// ("add 2d children"). Level-1 points have two children (the boundary
+/// points), level-2 boundary points have a single interior child, and points
+/// of level ≥ 3 have the usual two dyadic children.
+pub fn children(level: u8, index: u32) -> ChildIter {
+    debug_assert!(valid(level, index));
+    let pair = match level {
+        1 => [Some((2, 0)), Some((2, 2))],
+        2 => {
+            if index == 0 {
+                [Some((3, 1)), None]
+            } else {
+                [Some((3, 3)), None]
+            }
+        }
+        l => [Some((l + 1, 2 * index - 1)), Some((l + 1, 2 * index + 1))],
+    };
+    ChildIter { pair, at: 0 }
+}
+
+/// Iterator over the (at most two) children of a 1-D point.
+#[derive(Clone, Debug)]
+pub struct ChildIter {
+    pair: [Option<(u8, u32)>; 2],
+    at: usize,
+}
+
+impl Iterator for ChildIter {
+    type Item = (u8, u32);
+    fn next(&mut self) -> Option<(u8, u32)> {
+        while self.at < 2 {
+            let item = self.pair[self.at];
+            self.at += 1;
+            if item.is_some() {
+                return item;
+            }
+        }
+        None
+    }
+}
+
+/// Hierarchical parent of a point. `None` for the level-1 root. The parent
+/// is the unique coarser-level grid point whose basis support contains
+/// `x_{l,i}`.
+#[inline]
+pub fn parent(level: u8, index: u32) -> Option<(u8, u32)> {
+    debug_assert!(valid(level, index));
+    match level {
+        1 => None,
+        2 => Some((1, 1)),
+        3 => Some((2, index - 1)),
+        l => {
+            let up = (index + 1) / 2;
+            if up % 2 == 1 {
+                Some((l - 1, up))
+            } else {
+                Some((l - 1, (index - 1) / 2))
+            }
+        }
+    }
+}
+
+/// Reduces a dyadic coordinate `i · 2^{1−l}` to the canonical `(level,
+/// index)` of the grid point sitting there. Used to locate the support
+/// endpoints of a basis function among its ancestors during hierarchization.
+///
+/// `index` may be even here (it is a *coordinate*, not a hierarchical
+/// index): `0 ↦ (2,0)`, `2^{l−1} ↦ (2,2)`, and otherwise factors of two are
+/// stripped until the index is odd (landing on `(1,1)` when the point is
+/// `0.5`).
+pub fn reduce(level: u8, index: u32) -> (u8, u32) {
+    debug_assert!(level >= 2 && index <= (1u32 << (level - 1)));
+    if index == 0 {
+        return (2, 0);
+    }
+    if index == (1u32 << (level - 1)) {
+        return (2, 2);
+    }
+    let mut l = level;
+    let mut i = index;
+    while i % 2 == 0 {
+        i /= 2;
+        l -= 1;
+    }
+    if l == 2 {
+        debug_assert_eq!(i, 1);
+        (1, 1)
+    } else {
+        (l, i)
+    }
+}
+
+/// The support endpoints of `φ_{l,i}` for `l ≥ 3`, as canonical grid points.
+/// These are the two values a hierarchization step averages.
+#[inline]
+pub fn support_endpoints(level: u8, index: u32) -> ((u8, u32), (u8, u32)) {
+    debug_assert!(level >= 3 && valid(level, index));
+    (reduce(level, index - 1), reduce(level, index + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp2i_matches_powf() {
+        for e in -40..=40 {
+            assert_eq!(exp2i(e), 2f64.powi(e), "e={e}");
+        }
+    }
+
+    #[test]
+    fn level_point_counts() {
+        assert_eq!(points_in_level(1), 1);
+        assert_eq!(points_in_level(2), 2);
+        assert_eq!(points_in_level(3), 2);
+        assert_eq!(points_in_level(4), 4);
+        assert_eq!(points_in_level(5), 8);
+        for l in 1..=10u8 {
+            assert_eq!(level_indices(l).len() as u64, points_in_level(l));
+        }
+    }
+
+    #[test]
+    fn points_match_eq6() {
+        assert_eq!(point(1, 1), 0.5);
+        assert_eq!(point(2, 0), 0.0);
+        assert_eq!(point(2, 2), 1.0);
+        assert_eq!(point(3, 1), 0.25);
+        assert_eq!(point(3, 3), 0.75);
+        assert_eq!(point(4, 1), 0.125);
+        assert_eq!(point(4, 7), 0.875);
+    }
+
+    #[test]
+    fn hats_match_eq5() {
+        // Level 1 is constant.
+        for x in [0.0, 0.3, 0.5, 1.0] {
+            assert_eq!(hat(1, 1, x), 1.0);
+        }
+        // Level 2 boundary hats.
+        assert_eq!(hat(2, 0, 0.0), 1.0);
+        assert_eq!(hat(2, 0, 0.25), 0.5);
+        assert_eq!(hat(2, 0, 0.5), 0.0);
+        assert_eq!(hat(2, 2, 1.0), 1.0);
+        assert_eq!(hat(2, 2, 0.5), 0.0);
+        // Interior hats have unit peak and dyadic support.
+        assert_eq!(hat(3, 1, 0.25), 1.0);
+        assert_eq!(hat(3, 1, 0.0), 0.0);
+        assert_eq!(hat(3, 1, 0.5), 0.0);
+        assert_eq!(hat(3, 1, 0.125), 0.5);
+    }
+
+    #[test]
+    fn hat_value_is_one_at_own_point() {
+        for l in 1..=8u8 {
+            for i in level_indices(l) {
+                assert_eq!(hat(l, i, point(l, i)), 1.0, "l={l} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hat_vanishes_at_other_points_of_same_or_coarser_level() {
+        // φ_{l,i}(x_{m,j}) = 0 for m < l — the property that makes
+        // level-by-level hierarchization exact (Sec. III).
+        for l in 2..=7u8 {
+            for i in level_indices(l) {
+                for m in 1..l {
+                    for j in level_indices(m) {
+                        assert_eq!(
+                            hat(l, i, point(m, j)),
+                            0.0,
+                            "φ_{{{l},{i}}} at x_{{{m},{j}}}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_pair_matches_fig3() {
+        // The transformed pairs shown in Fig. 3b / Fig. 4 of the paper.
+        assert_eq!(scaled_pair(1, 1), (0, 0));
+        assert_eq!(scaled_pair(2, 0), (2, 0));
+        assert_eq!(scaled_pair(2, 2), (2, 2));
+        assert_eq!(scaled_pair(3, 1), (4, 1));
+        assert_eq!(scaled_pair(3, 3), (4, 3));
+    }
+
+    #[test]
+    fn linear_basis_consistent_with_hat() {
+        for l in 2..=9u8 {
+            for i in level_indices(l) {
+                let (sl, si) = scaled_pair(l, i);
+                for k in 0..=64 {
+                    let x = k as f64 / 64.0;
+                    let reference = hat(l, i, x);
+                    let kernel = linear_basis(x, sl, si).max(0.0);
+                    assert!(
+                        (reference - kernel).abs() < 1e-15,
+                        "l={l} i={i} x={x}: {reference} vs {kernel}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_and_parent_are_inverse() {
+        for l in 1..=8u8 {
+            for i in level_indices(l) {
+                for (cl, ci) in children(l, i) {
+                    assert!(valid(cl, ci), "child of ({l},{i}) = ({cl},{ci})");
+                    assert_eq!(parent(cl, ci), Some((l, i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn child_point_is_inside_parent_support() {
+        for l in 1..=8u8 {
+            for i in level_indices(l) {
+                for (cl, ci) in children(l, i) {
+                    assert!(hat(l, i, point(cl, ci)) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_canonicalizes_dyadic_points() {
+        assert_eq!(reduce(3, 0), (2, 0));
+        assert_eq!(reduce(3, 4), (2, 2));
+        assert_eq!(reduce(3, 2), (1, 1));
+        assert_eq!(reduce(4, 2), (3, 1));
+        assert_eq!(reduce(4, 6), (3, 3));
+        assert_eq!(reduce(5, 8), (1, 1));
+        // Reduction preserves the coordinate.
+        for l in 2..=9u8 {
+            for i in 0..=(1u32 << (l - 1)) {
+                let (rl, ri) = reduce(l, i);
+                assert!(valid(rl, ri));
+                let x = i as f64 * exp2i(1 - l as i32);
+                assert!((point(rl, ri) - x).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn support_endpoints_bracket_the_point() {
+        for l in 3..=9u8 {
+            for i in level_indices(l) {
+                let ((ll, li), (rl, ri)) = support_endpoints(l, i);
+                let x = point(l, i);
+                let h = exp2i(1 - l as i32);
+                assert!((point(ll, li) - (x - h)).abs() < 1e-15);
+                assert!((point(rl, ri) - (x + h)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn validity_rules() {
+        assert!(valid(1, 1));
+        assert!(!valid(1, 0));
+        assert!(valid(2, 0));
+        assert!(!valid(2, 1));
+        assert!(valid(2, 2));
+        assert!(valid(3, 1));
+        assert!(!valid(3, 2));
+        assert!(!valid(3, 5));
+        assert!(valid(4, 7));
+        assert!(!valid(0, 0));
+    }
+
+    #[test]
+    fn support_index_agrees_with_hat() {
+        // At every sample x and level, the reported (i, v) must match hat(),
+        // and every *other* index of the level must evaluate to 0.
+        for level in 1..=6u8 {
+            for s in 0..=200 {
+                let x = s as f64 / 200.0;
+                match support_index(level, x) {
+                    Some((i, v)) => {
+                        assert!(valid(level, i), "level {level} x {x}: index {i}");
+                        assert!((v - hat(level, i, x)).abs() < 1e-14);
+                        assert!(v > 0.0);
+                        for j in level_indices(level) {
+                            if j != i {
+                                assert_eq!(hat(level, j, x), 0.0, "level {level} x {x} j {j}");
+                            }
+                        }
+                    }
+                    None => {
+                        for j in level_indices(level) {
+                            assert_eq!(hat(level, j, x), 0.0, "level {level} x {x} j {j}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_index_edge_cases() {
+        assert_eq!(support_index(1, 0.0), Some((1, 1.0)));
+        assert_eq!(support_index(2, 0.0), Some((0, 1.0)));
+        assert_eq!(support_index(2, 1.0), Some((2, 1.0)));
+        assert_eq!(support_index(2, 0.5), None); // knot: both level-2 hats vanish
+        assert_eq!(support_index(3, 0.25), Some((1, 1.0)));
+        assert_eq!(support_index(3, 0.5), None);
+        // x = 1.0 at level >= 3 sits on the last knot.
+        assert_eq!(support_index(3, 1.0), None);
+    }
+}

@@ -1,0 +1,115 @@
+//! Dense `(ł, í)` index-matrix export — the data format of the paper's
+//! earlier work ([18], after Heinecke & Pflüger [23]) that the `gold`
+//! baseline kernel consumes, and the `Ξ̃` matrix the compression pipeline
+//! of Sec. IV-B starts from.
+
+use crate::basis;
+use crate::grid::SparseGrid;
+
+/// Row-major `nno × dim` matrix of pre-scaled basis pairs. Level-1
+/// coordinates are stored as `(0, 0)`, for which `LinearBasis` evaluates to
+/// exactly 1.0 — the redundancy the compressed format eliminates.
+#[derive(Clone, Debug)]
+pub struct DenseIndexMatrix {
+    nno: usize,
+    dim: usize,
+    /// Interleaved `[ł, í]` pairs: `pairs[2·(p·dim + t)]` is `ł` of point
+    /// `p`, dimension `t`.
+    pairs: Vec<u16>,
+}
+
+impl DenseIndexMatrix {
+    /// Materializes the dense matrix for a grid.
+    pub fn from_grid(grid: &SparseGrid) -> Self {
+        let nno = grid.len();
+        let dim = grid.dim();
+        let mut pairs = vec![0u16; 2 * nno * dim];
+        for (p, node) in grid.nodes().iter().enumerate() {
+            for c in node.active() {
+                let (l, i) = basis::scaled_pair(c.level, c.index);
+                let at = 2 * (p * dim + c.dim as usize);
+                pairs[at] = l;
+                pairs[at + 1] = i;
+            }
+        }
+        DenseIndexMatrix { nno, dim, pairs }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn nno(&self) -> usize {
+        self.nno
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `(ł, í)` pair of point `p`, dimension `t`.
+    #[inline]
+    pub fn pair(&self, p: usize, t: usize) -> (u16, u16) {
+        let at = 2 * (p * self.dim + t);
+        (self.pairs[at], self.pairs[at + 1])
+    }
+
+    /// Raw interleaved storage (kernel-facing).
+    #[inline]
+    pub fn raw(&self) -> &[u16] {
+        &self.pairs
+    }
+
+    /// Fraction of `(0,0)` pairs — the "zeros content" the paper reports as
+    /// up to 96.8% (Fig. 3b).
+    pub fn zero_fraction(&self) -> f64 {
+        let zeros = self
+            .pairs
+            .chunks_exact(2)
+            .filter(|c| c[0] == 0 && c[1] == 0)
+            .count();
+        zeros as f64 / (self.nno * self.dim) as f64
+    }
+
+    /// Memory footprint in bytes (what the compressed format is measured
+    /// against).
+    pub fn bytes(&self) -> usize {
+        self.pairs.len() * std::mem::size_of::<u16>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular::regular_grid;
+
+    #[test]
+    fn dense_matrix_matches_node_coords() {
+        let grid = regular_grid(3, 3);
+        let dense = DenseIndexMatrix::from_grid(&grid);
+        assert_eq!(dense.nno(), grid.len());
+        for (p, node) in grid.nodes().iter().enumerate() {
+            for t in 0..3u16 {
+                let (level, index) = node.coord(t);
+                let expected = basis::scaled_pair(level, index);
+                assert_eq!(dense.pair(p, t as usize), expected, "p={p} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fraction_on_paper_grid() {
+        // d=59, n=3: at most 2 of 59 coords are active per point; the paper
+        // quotes "up to 96.8%" zeros for its refinement-level-2 example.
+        let grid = regular_grid(59, 3);
+        let dense = DenseIndexMatrix::from_grid(&grid);
+        let zf = dense.zero_fraction();
+        assert!(zf > 0.96, "zero fraction {zf}");
+    }
+
+    #[test]
+    fn level1_pairs_evaluate_to_one() {
+        // The (0,0) encoding must make LinearBasis return exactly 1.
+        assert_eq!(basis::linear_basis(0.37, 0, 0), 1.0);
+    }
+}

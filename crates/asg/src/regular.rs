@@ -1,0 +1,198 @@
+//! Regular (non-adaptive) sparse grid construction and closed-form point
+//! counting for the space `V_n^S = ⊕_{|ľ|₁ ≤ n+d−1} W_ľ` of Eq. (13).
+//!
+//! These are the grids behind all headline numbers of the paper: for
+//! `d = 59` the sizes are 119 (n=2), 7,081 (n=3), 281,077 (n=4),
+//! 8,378,001 (n=5) and over 2·10⁸ at n=6 (Sec. V, footnote 12). Counting is
+//! exact and cheap (dynamic program over level-sum budgets), so the growth
+//! table can be reproduced without materializing the larger grids.
+
+use crate::basis::{self, points_in_level};
+use crate::grid::SparseGrid;
+use crate::node::{ActiveCoord, NodeKey};
+
+/// Builds the regular sparse grid of level `n ≥ 1` in `dim` dimensions:
+/// every node with `|ľ|₁ ≤ n + d − 1`.
+///
+/// Enumeration exploits sparsity: a node of level sum `d + b` has at most
+/// `b ≤ n − 1` active dimensions, so we enumerate active-dimension subsets
+/// and level assignments recursively rather than scanning `L^d` candidates.
+pub fn regular_grid(dim: usize, n: u8) -> SparseGrid {
+    assert!(n >= 1 && n <= basis::MAX_LEVEL, "level out of range");
+    let mut grid = SparseGrid::new(dim);
+    grid.insert(NodeKey::root());
+    let budget = n as u32 - 1; // total level excess Σ (l_t − 1)
+    let mut stack: Vec<ActiveCoord> = Vec::new();
+    enumerate_active(dim, 0, budget, &mut stack, &mut grid);
+    debug_assert!(grid.is_ancestor_closed());
+    grid
+}
+
+fn enumerate_active(
+    dim: usize,
+    first_dim: usize,
+    budget: u32,
+    stack: &mut Vec<ActiveCoord>,
+    grid: &mut SparseGrid,
+) {
+    if budget == 0 {
+        return;
+    }
+    for t in first_dim..dim {
+        // Levels 2..=budget+1 for this dimension (excess 1..=budget).
+        for level in 2..=(budget + 1).min(basis::MAX_LEVEL as u32) as u8 {
+            let excess = level as u32 - 1;
+            for index in basis::level_indices(level) {
+                stack.push(ActiveCoord {
+                    dim: t as u16,
+                    level,
+                    index,
+                });
+                grid.insert(NodeKey::from_coords(stack.iter().copied()));
+                enumerate_active(dim, t + 1, budget - excess, stack, grid);
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Closed-form size of the regular sparse grid `V_n^S` in `dim` dimensions.
+///
+/// Counts nodes by total level excess `b = |ľ|₁ − d ∈ [0, n−1]` distributed
+/// over `k` active dimensions: `Σ_k C(d,k) · ways(k, b)` where `ways` is a
+/// DP over compositions of `b` into `k` parts weighted by the 1-D level
+/// point counts.
+pub fn regular_grid_size(dim: usize, n: u8) -> u128 {
+    assert!(n >= 1);
+    let budget = (n - 1) as usize;
+    // ways[k][b]: number of point tuples using exactly k active dims (order
+    // fixed) with total excess exactly b.
+    let mut ways = vec![vec![0u128; budget + 1]; budget + 1];
+    ways[0][0] = 1;
+    for k in 1..=budget {
+        for b in k..=budget {
+            let mut total = 0u128;
+            for excess in 1..=b - (k - 1) {
+                let level = (excess + 1) as u8;
+                total += ways[k - 1][b - excess] * points_in_level(level) as u128;
+            }
+            ways[k][b] = total;
+        }
+    }
+    let mut size = 0u128;
+    for k in 0..=budget.min(dim) {
+        let combos = binomial(dim as u128, k as u128);
+        let per_subset: u128 = (k..=budget).map(|b| ways[k][b]).sum();
+        size += combos * per_subset;
+    }
+    size
+}
+
+/// Size of the *increment* from level `n−1` to `n` (the new points a
+/// refinement level adds) — e.g. for `d = 59`, level 4 adds 273,996 points
+/// (Fig. 8's "Level 4" series).
+pub fn level_increment_size(dim: usize, n: u8) -> u128 {
+    if n <= 1 {
+        return regular_grid_size(dim, n.max(1));
+    }
+    regular_grid_size(dim, n) - regular_grid_size(dim, n - 1)
+}
+
+fn binomial(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u128;
+    for j in 0..k {
+        result = result * (n - j) / (j + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dimensional_sizes() {
+        // d=1: level n has 1 + 2 + 2 + 4 + ... points.
+        assert_eq!(regular_grid_size(1, 1), 1);
+        assert_eq!(regular_grid_size(1, 2), 3);
+        assert_eq!(regular_grid_size(1, 3), 5);
+        assert_eq!(regular_grid_size(1, 4), 9);
+        assert_eq!(regular_grid_size(1, 5), 17);
+    }
+
+    #[test]
+    fn counting_matches_enumeration_small_dims() {
+        for dim in 1..=4usize {
+            for n in 1..=5u8 {
+                let grid = regular_grid(dim, n);
+                assert_eq!(
+                    grid.len() as u128,
+                    regular_grid_size(dim, n),
+                    "d={dim} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_has_exact_level_sums() {
+        let dim = 3;
+        let n = 4u8;
+        let grid = regular_grid(dim, n);
+        for node in grid.nodes() {
+            assert!(node.level_sum(dim) <= n as u32 + dim as u32 - 1);
+        }
+        assert!(grid.is_ancestor_closed());
+    }
+
+    #[test]
+    fn paper_sizes_d59() {
+        // Sec. V, footnote 12: 119 (L2), 7,081 (L3), 281,077 (L4),
+        // 8,378,001 (L5), > 2·10^8 (L6).
+        assert_eq!(regular_grid_size(59, 2), 119);
+        assert_eq!(regular_grid_size(59, 3), 7_081);
+        assert_eq!(regular_grid_size(59, 4), 281_077);
+        assert_eq!(regular_grid_size(59, 5), 8_378_001);
+        assert!(regular_grid_size(59, 6) > 200_000_000);
+    }
+
+    #[test]
+    fn paper_level_increments_d59() {
+        // Fig. 8 reports level 3 with 6,962 and level 4 with 273,996 points
+        // per state. 281,077 − 7,081 = 273,996 matches exactly; the level-3
+        // series in the figure excludes the 119 level-≤2 restart points
+        // (7,081 − 119 = 6,962).
+        assert_eq!(level_increment_size(59, 4), 273_996);
+        assert_eq!(level_increment_size(59, 3), 6_962);
+    }
+
+    #[test]
+    fn materialized_d59_level3() {
+        let grid = regular_grid(59, 3);
+        assert_eq!(grid.len(), 7_081);
+        let hist = grid.level_histogram();
+        assert_eq!(&hist[1..], &[1, 118, 6_962]);
+    }
+
+    #[test]
+    fn table1_small_case_d2() {
+        // The 2-D level-3 sparse grid of Fig. 1 for this basis family
+        // (1-D level sizes 1, 2, 2, 4, …): subspaces with l1+l2 <= 4
+        // contribute 1 + 2·2 + 2·2 + 4 = 13 points.
+        assert_eq!(regular_grid_size(2, 3), 13);
+        assert_eq!(regular_grid(2, 3).len(), 13);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(59, 0), 1);
+        assert_eq!(binomial(59, 1), 59);
+        assert_eq!(binomial(59, 2), 1711);
+        assert_eq!(binomial(59, 3), 32509);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the sparse-grid substrate: basis identities,
+//! node algebra, grid invariants, and hierarchization exactness on
+//! randomly generated adaptive grids.
+
+use proptest::prelude::*;
+
+use hddm_asg::{
+    basis, dehierarchize, hierarchize, interpolate_reference, regular_grid, tabulate,
+    ActiveCoord, NodeKey, SparseGrid,
+};
+
+/// A random valid 1-D (level, index) pair with level ≥ 2.
+fn active_pair() -> impl Strategy<Value = (u8, u32)> {
+    (2u8..=7).prop_flat_map(|level| {
+        let indices = basis::level_indices(level);
+        (Just(level), prop::sample::select(indices))
+    })
+}
+
+/// A random ancestor-closed grid in `dim` dimensions.
+fn closed_grid(dim: usize) -> impl Strategy<Value = SparseGrid> {
+    prop::collection::vec(
+        prop::collection::vec((0..dim as u16, active_pair()), 0..=3),
+        0..10,
+    )
+    .prop_map(move |nodes| {
+        let mut grid = SparseGrid::new(dim);
+        grid.insert(NodeKey::root());
+        for coords in nodes {
+            let mut seen = std::collections::HashSet::new();
+            let active: Vec<ActiveCoord> = coords
+                .into_iter()
+                .filter(|(d, _)| seen.insert(*d))
+                .map(|(dim, (level, index))| ActiveCoord { dim, level, index })
+                .collect();
+            grid.insert_closed(NodeKey::from_coords(active));
+        }
+        grid
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hat functions are bounded by [0, 1] and peak exactly at their node.
+    #[test]
+    fn hat_bounds_and_peak((level, index) in active_pair(), x in 0.0f64..=1.0) {
+        let v = basis::hat(level, index, x);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert_eq!(basis::hat(level, index, basis::point(level, index)), 1.0);
+    }
+
+    /// The pre-scaled kernel encoding is everywhere consistent with the
+    /// textbook hat definition.
+    #[test]
+    fn scaled_encoding_consistent((level, index) in active_pair(), x in 0.0f64..=1.0) {
+        let (l, i) = basis::scaled_pair(level, index);
+        let kernel = basis::linear_basis(x, l, i).max(0.0);
+        prop_assert!((kernel - basis::hat(level, index, x)).abs() < 1e-14);
+    }
+
+    /// parent(child(p)) == p for every generated pair.
+    #[test]
+    fn parent_child_inverse((level, index) in active_pair()) {
+        for (cl, ci) in basis::children(level, index) {
+            prop_assert_eq!(basis::parent(cl, ci), Some((level, index)));
+        }
+    }
+
+    /// Hierarchical ancestors always contain the node's support point
+    /// within their own support (monotone nesting).
+    #[test]
+    fn ancestor_support_nesting((level, index) in active_pair()) {
+        let x = basis::point(level, index);
+        let mut at = (level, index);
+        while let Some((pl, pi)) = basis::parent(at.0, at.1) {
+            prop_assert!(basis::hat(pl, pi, x) > 0.0, "ancestor ({pl},{pi}) excludes x={x}");
+            at = (pl, pi);
+        }
+        prop_assert_eq!(at.0, 1);
+    }
+
+    /// Random closed grids: closure invariant, no duplicate nodes, level
+    /// histogram sums to the node count.
+    #[test]
+    fn grid_invariants(grid in closed_grid(3)) {
+        prop_assert!(grid.is_ancestor_closed());
+        let mut seen = std::collections::HashSet::new();
+        for node in grid.nodes() {
+            prop_assert!(seen.insert(node.clone()), "duplicate node");
+        }
+        let hist: usize = grid.level_histogram().iter().sum();
+        prop_assert_eq!(hist, grid.len());
+    }
+
+    /// Hierarchization is exact at the grid points of random closed grids
+    /// and invertible.
+    #[test]
+    fn hierarchization_exact_and_invertible(grid in closed_grid(3)) {
+        let ndofs = 2;
+        let values = tabulate(&grid, ndofs, |x, out| {
+            out[0] = (x[0] * 2.0 + x[1]).cos() + x[2] * x[2];
+            out[1] = x[0] - 3.0 * x[1] * x[2];
+        });
+        let mut surplus = values.clone();
+        hierarchize(&grid, &mut surplus, ndofs);
+
+        // Exactness at nodes.
+        let mut x = vec![0.0; 3];
+        let mut out = vec![0.0; ndofs];
+        for p in 0..grid.len() {
+            grid.unit_point_of(p, &mut x);
+            interpolate_reference(&grid, &surplus, ndofs, &x, &mut out);
+            for k in 0..ndofs {
+                prop_assert!((out[k] - values[p * ndofs + k]).abs() < 1e-10);
+            }
+        }
+
+        // Invertibility.
+        let mut roundtrip = surplus.clone();
+        dehierarchize(&grid, &mut roundtrip, ndofs);
+        for (a, b) in roundtrip.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// Interpolation is linear in the surpluses.
+    #[test]
+    fn interpolation_linearity(grid in closed_grid(2), scale in -3.0f64..3.0) {
+        let n = grid.len();
+        let s1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let s2: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+        let combo: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| a + scale * b).collect();
+        let x = [0.31, 0.67];
+        let mut o1 = [0.0];
+        let mut o2 = [0.0];
+        let mut oc = [0.0];
+        interpolate_reference(&grid, &s1, 1, &x, &mut o1);
+        interpolate_reference(&grid, &s2, 1, &x, &mut o2);
+        interpolate_reference(&grid, &combo, 1, &x, &mut oc);
+        prop_assert!((oc[0] - (o1[0] + scale * o2[0])).abs() < 1e-9);
+    }
+}
+
+/// Sparse-grid counting is consistent between closed form and enumeration
+/// over a deterministic sweep (kept out of proptest: exhaustive).
+#[test]
+fn counting_sweep() {
+    for dim in 1..=5usize {
+        for n in 1..=4u8 {
+            assert_eq!(
+                regular_grid(dim, n).len() as u128,
+                hddm_asg::regular_grid_size(dim, n),
+                "d={dim} n={n}"
+            );
+        }
+    }
+}

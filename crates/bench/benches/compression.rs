@@ -1,0 +1,36 @@
+//! Criterion benchmarks of the compression pipeline itself: build cost of
+//! the Sec. IV-B data structure and the surplus reordering, versus dense
+//! matrix export.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hddm_asg::{regular_grid, DenseIndexMatrix};
+use hddm_bench::synthetic_surpluses;
+use hddm_compress::CompressedGrid;
+
+fn bench_compression(c: &mut Criterion) {
+    for (label, dim, level) in [("d59-L3", 59usize, 3u8), ("d12-L4", 12, 4)] {
+        let grid = regular_grid(dim, level);
+        let surplus = synthetic_surpluses(&grid, 8, 3);
+
+        let mut group = c.benchmark_group(format!("compress/{label}"));
+        group.bench_function(BenchmarkId::from_parameter("pipeline"), |b| {
+            b.iter(|| CompressedGrid::build(&grid))
+        });
+        group.bench_function(BenchmarkId::from_parameter("dense-export"), |b| {
+            b.iter(|| DenseIndexMatrix::from_grid(&grid))
+        });
+        let cg = CompressedGrid::build(&grid);
+        group.bench_function(BenchmarkId::from_parameter("surplus-reorder"), |b| {
+            b.iter(|| cg.reorder_rows(&surplus, 8))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compression
+}
+criterion_main!(benches);

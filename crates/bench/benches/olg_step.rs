@@ -1,0 +1,44 @@
+//! Criterion benchmark of a full OLG time-iteration step at growing model
+//! sizes — the end-to-end cost the cluster distributes in Figs. 7/8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hddm_core::{DriverConfig, OlgStep, TimeIteration};
+use hddm_kernels::KernelKind;
+use hddm_olg::{Calibration, OlgModel};
+use hddm_sched::PoolConfig;
+
+fn bench_olg_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olg-time-step");
+    group.sample_size(10);
+    for (lifespan, states) in [(4usize, 2usize), (6, 2), (8, 4)] {
+        let label = format!("A{lifespan}-Ns{states}");
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_batched(
+                || {
+                    let model =
+                        OlgModel::new(Calibration::small(lifespan, (lifespan * 3) / 4, states, 0.03));
+                    TimeIteration::new(
+                        OlgStep::new(model),
+                        DriverConfig {
+                            kernel: KernelKind::Avx2,
+                            start_level: 2,
+                            max_steps: 1,
+                            pool: PoolConfig {
+                                threads: 1,
+                                grain: 4,
+                            },
+                            ..Default::default()
+                        },
+                    )
+                },
+                |mut ti| ti.step(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_olg_step);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates **Table I** (interpolation test cases) and the grid-growth
+//! numbers of Sec. V / footnote 12.
+//!
+//! ```text
+//! cargo run -p hddm-bench --release --bin table1
+//! ```
+
+use hddm_asg::{level_increment_size, regular_grid_size};
+use hddm_bench::paper_grid;
+use hddm_compress::CompressedGrid;
+
+fn main() {
+    println!("Table I — interpolation test cases (d = 59, 16 states)");
+    println!("{:<8} {:>4} {:>10} {:>6} {:>8} {:>11}", "test", "d", "nno", "level", "#states", "xps/state");
+    for (name, level) in [("\"7k\"", 3u8), ("\"300k\"", 4u8)] {
+        let grid = paper_grid(level);
+        let cg = CompressedGrid::build(&grid);
+        println!(
+            "{:<8} {:>4} {:>10} {:>6} {:>8} {:>11}",
+            name,
+            grid.dim(),
+            grid.len(),
+            level,
+            16,
+            cg.xps().len()
+        );
+        let stats = cg.stats();
+        println!(
+            "         zeros in Xi: {:.1}%  nfreq: {}  compressed: {:.2} MB  dense: {:.2} MB ({:.1}x smaller)",
+            stats.zero_fraction * 100.0,
+            cg.nfreq(),
+            stats.compressed_bytes as f64 / 1e6,
+            stats.dense_bytes as f64 / 1e6,
+            stats.dense_bytes as f64 / stats.compressed_bytes as f64,
+        );
+    }
+
+    println!();
+    println!("Sparse grid growth for d = 59 (paper footnote 12):");
+    println!("{:>5} {:>15} {:>15}", "L", "points", "new points");
+    for level in 2..=6u8 {
+        println!(
+            "{:>5} {:>15} {:>15}",
+            level,
+            regular_grid_size(59, level),
+            level_increment_size(59, level)
+        );
+    }
+    println!();
+    println!(
+        "Sanity: 16 x 281,077 x 59 = {} unknowns (paper: 265,336,688)",
+        16u64 * 281_077 * 59
+    );
+}

@@ -1,0 +1,410 @@
+//! The compression pipeline of Sec. IV-B, step by step, with inspectable
+//! intermediate artifacts (the ξ_freq matrices of Fig. 4, the transition
+//! matrices, and the lookup vectors that Algorithm 2 folds into chains).
+//!
+//! Terminology (paper ↔ code):
+//!
+//! * `Ξ̃` — the dense `nno × d` matrix of one-based `(l, i)` pairs; we read
+//!   it straight off the sparse grid.
+//! * `Ξ` — `Ξ̃` after the zero-elimination transform: every pair becomes
+//!   the pre-scaled `(ł, í) = (2^{l−1}, i)`, and level-1 pairs become
+//!   `(0, 0)` ("zero"), Fig. 3.
+//! * `ξ_freq` — for `freq = 0 … nfreq−1`, a dynamically expandable matrix
+//!   with `d` columns holding the `freq`-th non-zero of each `Ξ` row in the
+//!   column of its dimension, packed top-down per column (footnote 7),
+//!   Fig. 4.
+//! * `T_freq` — transition matrices linking the renumbered row ids of
+//!   consecutive `ξ_freq` pairs.
+//! * `xps` — the global array of unique `(dimension, ł, í)` elements; its
+//!   size is the number of *meaningful* 1-D basis evaluations per
+//!   interpolation (Table I: 237 for the "7k" grid, 473 for "300k" —
+//!   including the sentinel slot 0 that terminates chains).
+//! * `V_freq` — per-`ξ_freq` lookup vectors mapping renumbered ids to `xps`
+//!   entries.
+//! * `chains` — the final `nno × nfreq` matrix of `xps` indices walked by
+//!   the interpolation kernels (Fig. 5 left).
+
+use hddm_asg::{basis, SparseGrid};
+
+/// One non-zero element of `Ξ`, tagged with the row (grid point) it came
+/// from. `l` and `i` are the pre-scaled pair (`Index<uint16_t>` in the
+/// paper's kernels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XiElement {
+    /// Pre-scaled level `ł = 2^{level−1}`.
+    pub l: u16,
+    /// Index `í` within the level.
+    pub i: u16,
+    /// Dimension (column of `Ξ`) this element sits in.
+    pub dim: u32,
+    /// Original `Ξ` row (dense grid-point id).
+    pub row: u32,
+}
+
+/// The zero-eliminated sparse view of `Ξ`: for every grid point, its
+/// non-zero elements in ascending dimension order.
+#[derive(Clone, Debug)]
+pub struct XiSparse {
+    /// Per-point element lists (index = dense grid id).
+    pub rows: Vec<Vec<XiElement>>,
+    /// Dimensionality `d`.
+    pub dim: usize,
+}
+
+impl XiSparse {
+    /// Extracts the non-zero structure of `Ξ` from the grid (steps of
+    /// Fig. 3: build `Ξ̃`, transform, drop zeros).
+    pub fn from_grid(grid: &SparseGrid) -> Self {
+        let rows = grid
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(p, node)| {
+                node.active()
+                    .map(|c| {
+                        let (l, i) = basis::scaled_pair(c.level, c.index);
+                        debug_assert!(l != 0 || i != 0);
+                        XiElement {
+                            l,
+                            i,
+                            dim: c.dim as u32,
+                            row: p as u32,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        XiSparse {
+            rows,
+            dim: grid.dim(),
+        }
+    }
+
+    /// `nfreq`: the maximum number of non-zeros across rows (paper: "the
+    /// number of frequencies"; ≤ 7 in the application's typical grids).
+    pub fn nfreq(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).max().unwrap_or(0)
+    }
+
+    /// Fraction of `(0,0)` entries in the conceptual dense `Ξ` (the "up to
+    /// 96.8% zeros" of Sec. IV-B).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let nonzeros: usize = self.rows.iter().map(|r| r.len()).sum();
+        1.0 - nonzeros as f64 / (self.rows.len() * self.dim) as f64
+    }
+}
+
+/// One `ξ_freq` matrix: `d` ragged columns, each holding the elements whose
+/// dimension equals that column, packed top-down in arrival order
+/// (footnote 7's "dynamically expandable matrix with fixed row size").
+#[derive(Clone, Debug, Default)]
+pub struct XiFreq {
+    /// `columns[j]` = elements placed in column `j`, by row.
+    pub columns: Vec<Vec<XiElement>>,
+}
+
+impl XiFreq {
+    /// Number of (ragged) rows = tallest column.
+    pub fn nrows(&self) -> usize {
+        self.columns.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+
+    /// Total elements stored.
+    pub fn len(&self) -> usize {
+        self.columns.iter().map(|c| c.len()).sum()
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major traversal (row 0 across all columns, then row 1, …) — the
+    /// order that defines the per-frequency renumbering.
+    pub fn traverse(&self) -> impl Iterator<Item = &XiElement> + '_ {
+        let nrows = self.nrows();
+        (0..nrows).flat_map(move |r| {
+            self.columns
+                .iter()
+                .filter_map(move |col| col.get(r))
+        })
+    }
+}
+
+/// Decomposes `Ξ` into `nfreq` ξ-matrices: the `k`-th non-zero of each row
+/// (in ascending dimension order) lands in `ξ_k`, column = its dimension.
+pub fn decompose(xi: &XiSparse) -> Vec<XiFreq> {
+    let nfreq = xi.nfreq();
+    let mut mats: Vec<XiFreq> = (0..nfreq)
+        .map(|_| XiFreq {
+            columns: vec![Vec::new(); xi.dim],
+        })
+        .collect();
+    for row in &xi.rows {
+        for (k, element) in row.iter().enumerate() {
+            mats[k].columns[element.dim as usize].push(*element);
+        }
+    }
+    mats
+}
+
+/// The renumbering of one frequency: `order[new_id] = original grid id`,
+/// plus the inverse map for points that appear in this frequency.
+#[derive(Clone, Debug)]
+pub struct Renumbering {
+    /// `order[new_id]` = original dense grid id.
+    pub order: Vec<u32>,
+    /// `new_of[original id]` = new id, or `u32::MAX` when the point has no
+    /// element at this frequency.
+    pub new_of: Vec<u32>,
+}
+
+/// Renumbers the points of one `ξ_freq` in row-major traversal order
+/// ("renumbered in a sorted order that ranges from the first to the last
+/// row of ξ_freq").
+pub fn renumber(mat: &XiFreq, nno: usize) -> Renumbering {
+    let mut order = Vec::with_capacity(mat.len());
+    let mut new_of = vec![u32::MAX; nno];
+    for element in mat.traverse() {
+        debug_assert_eq!(new_of[element.row as usize], u32::MAX);
+        new_of[element.row as usize] = order.len() as u32;
+        order.push(element.row);
+    }
+    Renumbering { order, new_of }
+}
+
+/// Sentinel id used in transition matrices and chains ("no successor").
+/// In `chains` the sentinel is plain 0 (`if (!idx) break` in the kernels);
+/// `xps[0]` holds the neutral `(0,0)` pair whose basis value is exactly 1.
+pub const NO_SUCCESSOR: u32 = u32::MAX;
+
+/// Builds the transition matrix `T_freq` between the renumberings of
+/// frequency `k` and `k + 1`: `t[new_id_k] = new_id_{k+1}` (or
+/// [`NO_SUCCESSOR`] when the point has no `k+1`-th non-zero).
+pub fn transition(from: &Renumbering, to: &Renumbering) -> Vec<u32> {
+    from.order
+        .iter()
+        .map(|&orig| to.new_of[orig as usize])
+        .collect()
+}
+
+/// One entry of the global unique-element array `xps`. Field names mirror
+/// the paper's `Index<uint16_t>` struct (`index` is the dimension the
+/// kernel uses to gather `x[j]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct XpsEntry {
+    /// Dimension `j` whose coordinate the kernel reads.
+    pub index: u32,
+    /// Pre-scaled level `ł` (0 for the sentinel).
+    pub l: u16,
+    /// Index `í` (0 for the sentinel).
+    pub i: u16,
+}
+
+impl XpsEntry {
+    /// The sentinel occupying `xps[0]`; `LinearBasis` evaluates it to 1.
+    pub const SENTINEL: XpsEntry = XpsEntry { index: 0, l: 0, i: 0 };
+}
+
+/// The deduplicated element array plus per-frequency lookup vectors
+/// `V_freq` (`lookups[k][new_id_k]` = `xps` index).
+#[derive(Clone, Debug)]
+pub struct UniqueElements {
+    /// `xps[0]` is the sentinel; real elements start at 1.
+    pub xps: Vec<XpsEntry>,
+    /// `lookups[k][new_id]` = index into `xps`.
+    pub lookups: Vec<Vec<u32>>,
+}
+
+/// Collects unique `(dim, ł, í)` elements across all frequencies (traversal
+/// order: frequency-ascending, then row-major) and builds the `V_freq`
+/// lookup vectors.
+pub fn unique_elements(mats: &[XiFreq]) -> UniqueElements {
+    use std::collections::HashMap;
+    let mut xps = vec![XpsEntry::SENTINEL];
+    let mut seen: HashMap<XpsEntry, u32> = HashMap::new();
+    let mut lookups = Vec::with_capacity(mats.len());
+    for mat in mats {
+        let mut v = Vec::with_capacity(mat.len());
+        for element in mat.traverse() {
+            let entry = XpsEntry {
+                index: element.dim,
+                l: element.l,
+                i: element.i,
+            };
+            let id = *seen.entry(entry).or_insert_with(|| {
+                xps.push(entry);
+                (xps.len() - 1) as u32
+            });
+            v.push(id);
+        }
+        lookups.push(v);
+    }
+    UniqueElements { xps, lookups }
+}
+
+/// Algorithm 2: folds transition matrices and lookup vectors into the
+/// per-point `chains` matrix (`nno_chained × nfreq`, row `p` in the
+/// frequency-0 renumbered order, 0-padded when a point runs out of
+/// non-zeros).
+///
+/// Returns `(chains, order)` where `order[new_pos] = original grid id` for
+/// the chained points; points with *no* non-zeros at all (the root) are not
+/// covered and are appended by the caller.
+pub fn build_chains(
+    renumberings: &[Renumbering],
+    transitions: &[Vec<u32>],
+    unique: &UniqueElements,
+    nfreq: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    if nfreq == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let first = &renumberings[0];
+    let npoints = first.order.len();
+    let mut chains = vec![0u32; npoints * nfreq];
+    for p in 0..npoints {
+        let mut id = p as u32;
+        chains[p * nfreq] = unique.lookups[0][p];
+        for k in 1..nfreq {
+            id = transitions[k - 1][id as usize];
+            if id == NO_SUCCESSOR {
+                break; // remaining slots stay 0 (the chain terminator)
+            }
+            chains[p * nfreq + k] = unique.lookups[k][id as usize];
+        }
+    }
+    (chains, first.order.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hddm_asg::regular_grid;
+
+    #[test]
+    fn xi_sparse_zero_fraction_matches_paper_figure() {
+        // Fig. 3 example: maximum refinement level 2 (one-based level 3),
+        // d = 59 — the paper quotes "up to 96.8%" zeros.
+        let grid = regular_grid(59, 3);
+        let xi = XiSparse::from_grid(&grid);
+        let zf = xi.zero_fraction();
+        assert!(zf > 0.96 && zf < 0.99, "zero fraction {zf}");
+    }
+
+    #[test]
+    fn nfreq_matches_level_budget() {
+        // Regular grid of level n has at most n−1 active dims per point.
+        for n in 2..=4u8 {
+            let grid = regular_grid(6, n);
+            let xi = XiSparse::from_grid(&grid);
+            assert_eq!(xi.nfreq(), n as usize - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn decompose_puts_kth_nonzero_in_kth_matrix() {
+        let grid = regular_grid(3, 3);
+        let xi = XiSparse::from_grid(&grid);
+        let mats = decompose(&xi);
+        assert_eq!(mats.len(), 2);
+        // Every row's first element must appear in ξ_0, second in ξ_1.
+        let total: usize = mats.iter().map(|m| m.len()).sum();
+        let nonzeros: usize = xi.rows.iter().map(|r| r.len()).sum();
+        assert_eq!(total, nonzeros);
+        for row in &xi.rows {
+            for (k, element) in row.iter().enumerate() {
+                assert!(
+                    mats[k].columns[element.dim as usize].contains(element),
+                    "element {element:?} missing from ξ_{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn column_packing_preserves_arrival_order() {
+        let grid = regular_grid(2, 4);
+        let xi = XiSparse::from_grid(&grid);
+        let mats = decompose(&xi);
+        for mat in &mats {
+            for col in &mat.columns {
+                // Rows within a column must be in ascending original-row
+                // order (elements arrive in grid order).
+                for w in col.windows(2) {
+                    assert!(w[0].row < w[1].row);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn renumber_is_a_bijection_on_chained_points() {
+        let grid = regular_grid(3, 4);
+        let xi = XiSparse::from_grid(&grid);
+        let mats = decompose(&xi);
+        let r0 = renumber(&mats[0], grid.len());
+        // Every non-root point appears exactly once.
+        let roots = xi.rows.iter().filter(|r| r.is_empty()).count();
+        assert_eq!(r0.order.len(), grid.len() - roots);
+        let mut seen = vec![false; grid.len()];
+        for &orig in &r0.order {
+            assert!(!seen[orig as usize]);
+            seen[orig as usize] = true;
+        }
+        // Inverse map agrees.
+        for (new_id, &orig) in r0.order.iter().enumerate() {
+            assert_eq!(r0.new_of[orig as usize], new_id as u32);
+        }
+    }
+
+    #[test]
+    fn transitions_compose_to_row_identity() {
+        let grid = regular_grid(3, 4);
+        let xi = XiSparse::from_grid(&grid);
+        let mats = decompose(&xi);
+        let renums: Vec<_> = mats.iter().map(|m| renumber(m, grid.len())).collect();
+        for k in 0..renums.len() - 1 {
+            let t = transition(&renums[k], &renums[k + 1]);
+            for (id_k, &id_next) in t.iter().enumerate() {
+                let orig = renums[k].order[id_k];
+                if id_next == NO_SUCCESSOR {
+                    assert!(xi.rows[orig as usize].len() <= k + 1);
+                } else {
+                    assert_eq!(renums[k + 1].order[id_next as usize], orig);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xps_counts_match_table1() {
+        // Table I: "7k" (d=59, level 3) has 237 xps per state; "300k"
+        // (level 4) has 473. Both include the sentinel slot.
+        let grid3 = regular_grid(59, 3);
+        let xi3 = XiSparse::from_grid(&grid3);
+        let unique3 = unique_elements(&decompose(&xi3));
+        assert_eq!(unique3.xps.len(), 237);
+
+        let grid4 = regular_grid(59, 4);
+        let xi4 = XiSparse::from_grid(&grid4);
+        let unique4 = unique_elements(&decompose(&xi4));
+        assert_eq!(unique4.xps.len(), 473);
+    }
+
+    #[test]
+    fn sentinel_is_slot_zero_and_neutral() {
+        let grid = regular_grid(2, 3);
+        let xi = XiSparse::from_grid(&grid);
+        let unique = unique_elements(&decompose(&xi));
+        assert_eq!(unique.xps[0], XpsEntry::SENTINEL);
+        assert_eq!(hddm_asg::linear_basis(0.42, 0, 0), 1.0);
+        // No real element may alias the sentinel slot.
+        for v in unique.lookups.iter().flatten() {
+            assert_ne!(*v, 0);
+        }
+    }
+}

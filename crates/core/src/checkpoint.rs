@@ -1,0 +1,279 @@
+//! Checkpoint / restart of a time-iteration run.
+//!
+//! The paper's production runs are staged: Sec. V-C restarts the level-4
+//! benchmark "from a sparse grid of level 2", and footnote 12 describes
+//! the ε-continuation protocol — iterate at a fixed refinement threshold
+//! until the error stalls, write the solution out, restart with a smaller
+//! ε. This module provides that restart surface: the complete solver state
+//! between two time steps is the policy set (one compressed interpolant
+//! per discrete state, chain-ordered surpluses) plus the step counter, and
+//! that is exactly what a [`Checkpoint`] captures.
+//!
+//! The on-disk format is versioned JSON of plain arrays — deliberately
+//! decoupled from the in-memory layout of `CompressedGrid` so old
+//! checkpoints survive refactors. `serde_json` is built with its
+//! `float_roundtrip` feature (see the workspace manifest) so `f64`
+//! surpluses survive the file exactly and a resumed run continues
+//! **bit-identically** — without that feature the default fast float
+//! parser is allowed to be off by one ulp, which the round-trip test
+//! below would catch.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use hddm_asg::BoxDomain;
+use hddm_compress::{CompressedGrid, XpsEntry};
+use hddm_kernels::CompressedState;
+
+use crate::driver::{DriverConfig, StepModel, TimeIteration};
+use crate::policy::PolicySet;
+
+/// Current on-disk format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One discrete state's interpolant, flattened to plain arrays.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StateRecord {
+    /// Unique elements as `(dimension, ł, í)` triples; entry 0 is the
+    /// sentinel `(0, 0, 0)`.
+    pub xps: Vec<(u32, u16, u16)>,
+    /// Chain matrix, row-major `nno × nfreq`.
+    pub chains: Vec<u32>,
+    /// Chain-position → grid-order permutation.
+    pub order: Vec<u32>,
+    /// Chain stride.
+    pub nfreq: usize,
+    /// Surpluses in chain order, row-major `nno × ndofs`.
+    pub surplus: Vec<f64>,
+}
+
+/// A complete, versioned snapshot of the solver state between time steps.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Time-iteration steps already executed.
+    pub step: usize,
+    /// Continuous dimensionality `d`.
+    pub dim: usize,
+    /// Coefficients per grid point.
+    pub ndofs: usize,
+    /// Domain box lower bounds.
+    pub domain_lo: Vec<f64>,
+    /// Domain box upper bounds.
+    pub domain_hi: Vec<f64>,
+    /// Per-discrete-state interpolants.
+    pub states: Vec<StateRecord>,
+}
+
+impl Checkpoint {
+    /// Captures the current solver state of a driver.
+    pub fn capture<M: StepModel>(ti: &TimeIteration<M>) -> Checkpoint {
+        let domain = &ti.policy.domain;
+        let states = (0..ti.policy.states.num_states())
+            .map(|z| {
+                let s = ti.policy.states.state(z);
+                StateRecord {
+                    xps: s
+                        .grid
+                        .xps()
+                        .iter()
+                        .map(|e| (e.index, e.l, e.i))
+                        .collect(),
+                    chains: s.grid.chains().to_vec(),
+                    order: s.grid.order().to_vec(),
+                    nfreq: s.grid.nfreq(),
+                    surplus: s.surplus.clone(),
+                }
+            })
+            .collect();
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            step: ti.step_index(),
+            dim: ti.model.dim(),
+            ndofs: ti.model.ndofs(),
+            domain_lo: domain.lo().to_vec(),
+            domain_hi: domain.hi().to_vec(),
+            states,
+        }
+    }
+
+    /// Rebuilds the policy set. Panics on structural corruption (the
+    /// validation lives in [`CompressedGrid::from_raw_parts`]).
+    pub fn restore_policy(&self) -> PolicySet {
+        let domain = BoxDomain::new(self.domain_lo.clone(), self.domain_hi.clone());
+        let states = self
+            .states
+            .iter()
+            .map(|r| {
+                let xps = r
+                    .xps
+                    .iter()
+                    .map(|&(index, l, i)| XpsEntry { index, l, i })
+                    .collect();
+                let cg = CompressedGrid::from_raw_parts(
+                    self.dim,
+                    r.nfreq,
+                    xps,
+                    r.chains.clone(),
+                    r.order.clone(),
+                );
+                assert_eq!(
+                    r.surplus.len(),
+                    cg.nno() * self.ndofs,
+                    "surplus length mismatch in checkpoint"
+                );
+                CompressedState::from_parts(cg, r.surplus.clone(), self.ndofs)
+            })
+            .collect();
+        PolicySet::new(states, domain)
+    }
+
+    /// Serializes to a JSON file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Loads and version-checks a checkpoint file.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Checkpoint> {
+        let json = fs::read_to_string(path)?;
+        let ck: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
+        if ck.version != CHECKPOINT_VERSION {
+            return Err(io::Error::other(format!(
+                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+                ck.version
+            )));
+        }
+        Ok(ck)
+    }
+}
+
+impl<M: StepModel> TimeIteration<M> {
+    /// Resumes a run from a checkpoint: the policy set and step counter
+    /// are restored, the model and config are supplied fresh (they are
+    /// code + calibration, not solver state). Panics if the model shape
+    /// does not match the checkpoint.
+    pub fn resume(model: M, config: DriverConfig, checkpoint: &Checkpoint) -> Self {
+        assert_eq!(model.dim(), checkpoint.dim, "model dimension mismatch");
+        assert_eq!(model.ndofs(), checkpoint.ndofs, "model ndofs mismatch");
+        assert_eq!(
+            model.num_states(),
+            checkpoint.states.len(),
+            "discrete state count mismatch"
+        );
+        let policy = checkpoint.restore_policy();
+        TimeIteration::with_policy(model, config, policy, checkpoint.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::DriverConfig;
+    use crate::olg_step::OlgStep;
+    use hddm_kernels::KernelKind;
+    use hddm_olg::{Calibration, OlgModel, PolicyOracle};
+    use hddm_sched::PoolConfig;
+
+    fn config(max_steps: usize) -> DriverConfig {
+        DriverConfig {
+            kernel: KernelKind::X86,
+            start_level: 2,
+            max_steps,
+            tolerance: 0.0,
+            pool: PoolConfig { threads: 1, grain: 4 },
+            ..Default::default()
+        }
+    }
+
+    fn probe(ti: &TimeIteration<OlgStep>, x: &[f64], ndofs: usize) -> Vec<Vec<f64>> {
+        let mut oracle = ti.policy.oracle(KernelKind::X86);
+        (0..ti.model.num_states())
+            .map(|z| {
+                let mut row = vec![0.0; ndofs];
+                oracle.eval(z, x, &mut row);
+                row
+            })
+            .collect()
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_is_bitwise() {
+        let model = OlgModel::new(Calibration::small(5, 3, 2, 0.03));
+        let x = model.steady.state_vector();
+        let mut ti = TimeIteration::new(OlgStep::new(model), config(3));
+        ti.run();
+        let ck = Checkpoint::capture(&ti);
+        let restored = ck.restore_policy();
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        let mut oa = ti.policy.oracle(KernelKind::X86);
+        let mut ob = restored.oracle(KernelKind::X86);
+        for z in 0..2 {
+            oa.eval(z, &x, &mut a);
+            ob.eval(z, &x, &mut b);
+            assert_eq!(a, b, "state {z}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_resumes_bit_identically() {
+        // 4 straight steps vs 2 steps + save/load + 2 steps: the resumed
+        // run must continue exactly where the uninterrupted one goes.
+        let make_model = || OlgModel::new(Calibration::small(5, 3, 2, 0.03));
+        let x = make_model().steady.state_vector();
+
+        let mut straight = TimeIteration::new(OlgStep::new(make_model()), config(4));
+        straight.run();
+        let want = probe(&straight, &x, 8);
+
+        let mut first = TimeIteration::new(OlgStep::new(make_model()), config(2));
+        first.run();
+        let dir = std::env::temp_dir().join("hddm_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.json");
+        Checkpoint::capture(&first).save(&path).unwrap();
+
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.step, 2);
+        let mut resumed = TimeIteration::resume(OlgStep::new(make_model()), config(2), &loaded);
+        resumed.run();
+        assert_eq!(resumed.step_index(), 4);
+        let got = probe(&resumed, &x, 8);
+        assert_eq!(got, want, "resumed run diverged from straight run");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let model = OlgModel::new(Calibration::deterministic(4, 3));
+        let ti = TimeIteration::new(OlgStep::new(model), config(0));
+        let mut ck = Checkpoint::capture(&ti);
+        ck.version = 99;
+        let dir = std::env::temp_dir().join("hddm_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_version.json");
+        // Write the bad version manually (save would stamp the right one
+        // only if we let it — it serializes the struct as-is).
+        std::fs::write(&path, serde_json::to_string(&ck).unwrap()).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("version"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_model() {
+        let model = OlgModel::new(Calibration::small(5, 3, 2, 0.03));
+        let ti = TimeIteration::new(OlgStep::new(model), config(0));
+        let ck = Checkpoint::capture(&ti);
+        let other = OlgModel::new(Calibration::small(6, 4, 2, 0.03));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            TimeIteration::resume(OlgStep::new(other), config(1), &ck)
+        }));
+        assert!(result.is_err(), "dimension mismatch must panic");
+    }
+}

@@ -1,0 +1,120 @@
+//! Policy-function storage: one adaptive sparse grid interpolant per
+//! discrete state, with domain scaling and the kernel-backed
+//! [`PolicyOracle`] the per-point solver calls 16 times per residual.
+
+use hddm_asg::BoxDomain;
+use hddm_kernels::{CompressedState, KernelKind, MultiState, Scratch};
+use hddm_olg::PolicyOracle;
+
+/// The policy `p = (p(z=1), …, p(z=Ns))` of one time-iteration step:
+/// per-state compressed interpolants over a shared physical domain.
+#[derive(Clone, Debug)]
+pub struct PolicySet {
+    /// Per-state interpolants (compressed, chain-ordered surpluses).
+    pub states: MultiState,
+    /// The physical box `B` all states share.
+    pub domain: BoxDomain,
+}
+
+impl PolicySet {
+    /// Bundles per-state interpolants with the domain.
+    pub fn new(states: Vec<CompressedState>, domain: BoxDomain) -> Self {
+        PolicySet {
+            states: MultiState::new(states),
+            domain,
+        }
+    }
+
+    /// Points per state (`M_z`).
+    pub fn points_per_state(&self) -> Vec<usize> {
+        self.states.points_per_state()
+    }
+
+    /// An oracle view over this policy set using `kernel`.
+    pub fn oracle(&self, kernel: KernelKind) -> AsgOracle<'_> {
+        AsgOracle {
+            set: self,
+            kernel,
+            scratch: Scratch::default(),
+            phys: vec![0.0; self.domain.dim()],
+            unit: vec![0.0; self.domain.dim()],
+        }
+    }
+}
+
+/// [`PolicyOracle`] implementation on compressed ASG kernels: clamps the
+/// physical query into `B` (the paper's domain truncation), rescales to
+/// the unit cube, and evaluates the requested state's interpolant.
+pub struct AsgOracle<'a> {
+    set: &'a PolicySet,
+    kernel: KernelKind,
+    scratch: Scratch,
+    phys: Vec<f64>,
+    unit: Vec<f64>,
+}
+
+impl PolicyOracle for AsgOracle<'_> {
+    fn eval(&mut self, z_next: usize, x_next: &[f64], out: &mut [f64]) {
+        self.phys.copy_from_slice(x_next);
+        self.set.domain.clamp(&mut self.phys);
+        self.set.domain.to_unit(&self.phys, &mut self.unit);
+        self.set
+            .states
+            .evaluate_one(self.kernel, z_next, &self.unit, &mut self.scratch, out);
+    }
+}
+
+impl AsgOracle<'_> {
+    /// Evaluates the interpolant of state `z` at a *unit-cube* point
+    /// (driver-internal shortcut when the point is already scaled).
+    pub fn eval_unit(&mut self, z: usize, unit: &[f64], out: &mut [f64]) {
+        self.set
+            .states
+            .evaluate_one(self.kernel, z, unit, &mut self.scratch, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hddm_asg::{hierarchize, regular_grid, tabulate};
+
+    fn linear_state(domain: &BoxDomain, slope: f64) -> CompressedState {
+        // Interpolant of f(x) = slope · x_phys[0] over the domain.
+        let grid = regular_grid(domain.dim(), 3);
+        let lo = domain.lo()[0];
+        let width = domain.width(0);
+        let mut surplus = tabulate(&grid, 1, |u, out| {
+            out[0] = slope * (lo + u[0] * width);
+        });
+        hierarchize(&grid, &mut surplus, 1);
+        CompressedState::new(&grid, &surplus, 1)
+    }
+
+    #[test]
+    fn oracle_scales_physical_coordinates() {
+        let domain = BoxDomain::new(vec![2.0, -1.0], vec![6.0, 1.0]);
+        let set = PolicySet::new(
+            vec![linear_state(&domain, 1.0), linear_state(&domain, -2.0)],
+            domain,
+        );
+        let mut oracle = set.oracle(KernelKind::X86);
+        let mut out = [0.0];
+        oracle.eval(0, &[3.0, 0.0], &mut out);
+        assert!((out[0] - 3.0).abs() < 1e-9, "{}", out[0]);
+        oracle.eval(1, &[5.0, 0.5], &mut out);
+        assert!((out[0] + 10.0).abs() < 1e-9, "{}", out[0]);
+    }
+
+    #[test]
+    fn oracle_clamps_out_of_box_queries() {
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let set = PolicySet::new(vec![linear_state(&domain, 1.0)], domain);
+        let mut oracle = set.oracle(KernelKind::Avx2);
+        let mut out = [0.0];
+        oracle.eval(0, &[5.0, 0.5], &mut out); // x0 clamped to 1.0
+        assert!((out[0] - 1.0).abs() < 1e-9);
+        oracle.eval(0, &[-3.0, 0.5], &mut out); // clamped to 0.0
+        assert!(out[0].abs() < 1e-9);
+    }
+}

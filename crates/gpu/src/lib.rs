@@ -1,0 +1,19 @@
+//! # hddm-gpu — software GPU and the `cuda` interpolation kernel
+//!
+//! The accelerator leg of the hybrid scheme (Sec. IV-A / V-A),
+//! substituting for the NVIDIA P100 + CUDA stack of "Piz Daint" (see
+//! DESIGN.md): a device model with SMs, per-block shared memory, occupancy
+//! waves and transfer links ([`device`]), and the compressed-format
+//! interpolation kernel mapped onto it ([`kernel`]), with `xpv` staged in
+//! shared memory exactly as the paper describes.
+//!
+//! Results are bit-identical to the CPU kernels (tested); performance is
+//! costed by a roofline model, since this host has no GPU.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod kernel;
+
+pub use device::{Device, GpuError};
+pub use kernel::{CudaInterpolator, KernelTiming, LaunchConfig, LaunchOptions};

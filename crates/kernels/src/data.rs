@@ -1,0 +1,88 @@
+//! Kernel-facing interpolant states: the dense baseline format and the
+//! compressed format, each bundling index structure + surplus matrix.
+
+use hddm_asg::{DenseIndexMatrix, SparseGrid};
+use hddm_compress::CompressedGrid;
+
+/// Interpolant in the *dense* format of the paper's earlier work [18]
+/// (Heinecke–Pflüger-style `nno × d` index matrix). Consumed by the `gold`
+/// kernel only; kept as the baseline every optimization is measured
+/// against.
+#[derive(Clone, Debug)]
+pub struct DenseState {
+    /// The `nno × d` pre-scaled `(ł, í)` matrix.
+    pub matrix: DenseIndexMatrix,
+    /// Row-major `nno × ndofs` surpluses in grid order.
+    pub surplus: Vec<f64>,
+    /// Degrees of freedom per point (118 in the OLG application).
+    pub ndofs: usize,
+}
+
+impl DenseState {
+    /// Bundles a grid and its (grid-ordered) surpluses.
+    pub fn new(grid: &SparseGrid, surplus: Vec<f64>, ndofs: usize) -> Self {
+        assert_eq!(surplus.len(), grid.len() * ndofs);
+        DenseState {
+            matrix: DenseIndexMatrix::from_grid(grid),
+            surplus,
+            ndofs,
+        }
+    }
+}
+
+/// Interpolant in the compressed format of Sec. IV-B. Surpluses are stored
+/// in chain order (the "surplus matrix reordering").
+#[derive(Clone, Debug)]
+pub struct CompressedState {
+    /// Chains + xps structure.
+    pub grid: CompressedGrid,
+    /// Row-major `nno × ndofs` surpluses in *chain* order.
+    pub surplus: Vec<f64>,
+    /// Degrees of freedom per point.
+    pub ndofs: usize,
+}
+
+impl CompressedState {
+    /// Compresses a grid and permutes grid-ordered surpluses into chain
+    /// order.
+    pub fn new(grid: &SparseGrid, surplus_grid_order: &[f64], ndofs: usize) -> Self {
+        let cg = CompressedGrid::build(grid);
+        let surplus = cg.reorder_rows(surplus_grid_order, ndofs);
+        CompressedState {
+            grid: cg,
+            surplus,
+            ndofs,
+        }
+    }
+
+    /// Wraps an existing compressed grid with surpluses already in chain
+    /// order (used when the driver extends an interpolant incrementally).
+    pub fn from_parts(grid: CompressedGrid, surplus_chain_order: Vec<f64>, ndofs: usize) -> Self {
+        assert_eq!(surplus_chain_order.len(), grid.nno() * ndofs);
+        CompressedState {
+            grid,
+            surplus: surplus_chain_order,
+            ndofs,
+        }
+    }
+}
+
+/// Reusable per-thread evaluation scratch. Sized for the largest state it
+/// has seen; the `xpv` array is the cache/shared-memory resident working
+/// set the compression was designed around.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    /// Clamped 1-D basis values, one per `xps` entry.
+    pub xpv: Vec<f64>,
+}
+
+impl Scratch {
+    /// Ensures capacity for a state with `nxps` unique elements.
+    #[inline]
+    pub fn prepare(&mut self, nxps: usize) -> &mut [f64] {
+        if self.xpv.len() < nxps {
+            self.xpv.resize(nxps, 0.0);
+        }
+        &mut self.xpv[..nxps]
+    }
+}

@@ -1,0 +1,82 @@
+//! The `gold` kernel: scalar interpolation over the dense `nno × d` index
+//! matrix — a direct transcription of Fig. 5 (right), the baseline data
+//! format of the paper's earlier work [18].
+
+use crate::data::DenseState;
+use hddm_asg::linear_basis;
+
+/// Evaluates the interpolant at unit-cube point `x`, accumulating into
+/// `out` (cleared first). Complexity `nno × d` basis evaluations with an
+/// early exit on the first non-positive factor.
+pub fn interpolate(state: &DenseState, x: &[f64], out: &mut [f64]) {
+    let dim = state.matrix.dim();
+    let nno = state.matrix.nno();
+    let ndofs = state.ndofs;
+    assert_eq!(x.len(), dim);
+    assert_eq!(out.len(), ndofs);
+    out.fill(0.0);
+    let pairs = state.matrix.raw();
+    'points: for p in 0..nno {
+        let mut temp = 1.0;
+        let row = &pairs[2 * p * dim..2 * (p + 1) * dim];
+        for (t, pair) in row.chunks_exact(2).enumerate() {
+            let xp = linear_basis(x[t], pair[0], pair[1]);
+            if xp <= 0.0 {
+                continue 'points;
+            }
+            temp *= xp;
+        }
+        let surplus = &state.surplus[p * ndofs..(p + 1) * ndofs];
+        for (o, s) in out.iter_mut().zip(surplus) {
+            *o += temp * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hddm_asg::{hierarchize, interpolate_reference, regular_grid, tabulate};
+
+    #[test]
+    fn matches_reference_interpolation() {
+        let grid = regular_grid(3, 4);
+        let ndofs = 2;
+        let mut surplus = tabulate(&grid, ndofs, |x, out| {
+            out[0] = x[0] * x[1] + x[2];
+            out[1] = (x[0] - 0.3).abs();
+        });
+        hierarchize(&grid, &mut surplus, ndofs);
+        let state = DenseState::new(&grid, surplus.clone(), ndofs);
+        let mut got = vec![0.0; ndofs];
+        let mut want = vec![0.0; ndofs];
+        for s in 0..30 {
+            let x = [
+                (s as f64 * 0.317 + 0.11) % 1.0,
+                (s as f64 * 0.173 + 0.53) % 1.0,
+                (s as f64 * 0.611 + 0.29) % 1.0,
+            ];
+            interpolate(&state, &x, &mut got);
+            interpolate_reference(&grid, &surplus, ndofs, &x, &mut want);
+            assert!((got[0] - want[0]).abs() < 1e-12);
+            assert!((got[1] - want[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn early_exit_on_boundary() {
+        // At a corner, most basis functions vanish; result must equal the
+        // reference (exercises the `goto zero` path).
+        let grid = regular_grid(2, 4);
+        let mut surplus = tabulate(&grid, 1, |x, out| out[0] = x[0] + 2.0 * x[1]);
+        hierarchize(&grid, &mut surplus, 1);
+        let state = DenseState::new(&grid, surplus.clone(), 1);
+        let mut got = [0.0];
+        let mut want = [0.0];
+        for x in [[0.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0]] {
+            interpolate(&state, &x, &mut got);
+            interpolate_reference(&grid, &surplus, 1, &x, &mut want);
+            assert!((got[0] - want[0]).abs() < 1e-12, "{x:?}");
+        }
+    }
+}

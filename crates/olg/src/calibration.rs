@@ -1,0 +1,267 @@
+//! Calibration of the stochastic OLG economy (Sec. II): demographics,
+//! preferences, technology, and the per-state productivity/tax-regime
+//! configuration.
+
+use crate::markov::MarkovChain;
+
+/// One discrete state of the economy: a productivity level joined with a
+/// tax regime ("booms, busts as well as different tax regimes").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegimeSpec {
+    /// Total factor productivity `ζ_z`.
+    pub productivity: f64,
+    /// Labor-income tax `τ_l` funding the pay-as-you-go pension.
+    pub labor_tax: f64,
+    /// Capital-income tax `τ_c`.
+    pub capital_tax: f64,
+}
+
+/// Full model calibration. `lifespan = A` periods of adult life (the paper:
+/// 60 annual periods after age 20, so `d = A − 1 = 59`), retirement after
+/// working age `work_years` (paper: average retirement at 65, pensions from
+/// 66, i.e. 46 working years).
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Adult lifespan `A` in model periods.
+    pub lifespan: usize,
+    /// Number of working periods (ages `1..=work_years` supply labor).
+    pub work_years: usize,
+    /// Discount factor `β` per period.
+    pub beta: f64,
+    /// CRRA coefficient `γ`.
+    pub gamma: f64,
+    /// Capital share `θ` in Cobb–Douglas production.
+    pub capital_share: f64,
+    /// Depreciation rate `δ` per period.
+    pub depreciation: f64,
+    /// Age-efficiency units `e_a` for `a = 1..=A` (zero after
+    /// `work_years`).
+    pub efficiency: Vec<f64>,
+    /// One spec per discrete state `z`.
+    pub regimes: Vec<RegimeSpec>,
+    /// Markov chain over the discrete states.
+    pub chain: MarkovChain,
+}
+
+impl Calibration {
+    /// Validates internal consistency.
+    pub fn validate(&self) {
+        assert!(self.lifespan >= 2, "need at least two generations");
+        assert!(
+            self.work_years >= 1 && self.work_years < self.lifespan,
+            "retirement must happen strictly inside the lifespan"
+        );
+        assert!(self.beta > 0.0 && self.beta <= 1.1);
+        assert!(self.gamma > 0.0);
+        assert!(self.capital_share > 0.0 && self.capital_share < 1.0);
+        assert!((0.0..=1.0).contains(&self.depreciation));
+        assert_eq!(self.efficiency.len(), self.lifespan);
+        for (a, &e) in self.efficiency.iter().enumerate() {
+            if a < self.work_years {
+                assert!(e > 0.0, "working age {a} must have positive efficiency");
+            } else {
+                assert_eq!(e, 0.0, "retired age {a} must have zero efficiency");
+            }
+        }
+        assert_eq!(self.regimes.len(), self.chain.num_states());
+        for (z, r) in self.regimes.iter().enumerate() {
+            assert!(r.productivity > 0.0, "state {z}");
+            assert!((0.0..1.0).contains(&r.labor_tax), "state {z}");
+            assert!((0.0..1.0).contains(&r.capital_tax), "state {z}");
+        }
+    }
+
+    /// Continuous state dimensionality `d = A − 1`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lifespan - 1
+    }
+
+    /// Coefficients per grid point per state: `2·(A−1)` (asset-demand and
+    /// value functions; 118 in the headline calibration).
+    #[inline]
+    pub fn ndofs(&self) -> usize {
+        2 * (self.lifespan - 1)
+    }
+
+    /// Number of discrete states `Ns`.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.regimes.len()
+    }
+
+    /// Aggregate labor supply `L = Σ_a e_a` (unit cohort masses).
+    pub fn aggregate_labor(&self) -> f64 {
+        self.efficiency.iter().sum()
+    }
+
+    /// Number of retired cohorts.
+    #[inline]
+    pub fn retirees(&self) -> usize {
+        self.lifespan - self.work_years
+    }
+
+    /// The hump-shaped age-efficiency profile used throughout:
+    /// `ln e_a = 0.07·age − 0.00095·age²` (a standard quadratic log-hump),
+    /// normalized to mean 1 over working ages, zero in retirement.
+    pub fn hump_efficiency(lifespan: usize, work_years: usize) -> Vec<f64> {
+        let mut e: Vec<f64> = (0..lifespan)
+            .map(|a| {
+                if a < work_years {
+                    let age = a as f64 + 1.0;
+                    (0.07 * age - 0.00095 * age * age).exp()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mean = e.iter().take(work_years).sum::<f64>() / work_years as f64;
+        for v in e.iter_mut() {
+            *v /= mean;
+        }
+        e
+    }
+
+    /// The headline calibration of Sec. II: `A = 60` annual periods
+    /// (d = 59), retirement after 46 working years (age 66 in calendar
+    /// terms), `Ns = 16` states from 4 productivity levels × 4 tax
+    /// regimes.
+    pub fn headline() -> Calibration {
+        Self::annual(60, 46)
+    }
+
+    /// An annually calibrated economy with the paper's 16-state shock
+    /// structure but adjustable demographics — used to scale the model
+    /// down to laptop-size while preserving its form.
+    pub fn annual(lifespan: usize, work_years: usize) -> Calibration {
+        let productivity = MarkovChain::persistent(4, 0.92);
+        let taxes = MarkovChain::persistent(4, 0.95);
+        let chain = productivity.product(&taxes);
+        let zeta = [0.97, 0.99, 1.01, 1.03];
+        let tax_regimes = [
+            (0.26, 0.16),
+            (0.30, 0.20),
+            (0.34, 0.24),
+            (0.30, 0.28),
+        ];
+        let mut regimes = Vec::with_capacity(16);
+        for z_prod in 0..4 {
+            for z_tax in 0..4 {
+                let (labor_tax, capital_tax) = tax_regimes[z_tax];
+                regimes.push(RegimeSpec {
+                    productivity: zeta[z_prod],
+                    labor_tax,
+                    capital_tax,
+                });
+            }
+        }
+        let calibration = Calibration {
+            lifespan,
+            work_years,
+            beta: 0.97,
+            gamma: 2.0,
+            capital_share: 0.33,
+            depreciation: 0.06,
+            efficiency: Self::hump_efficiency(lifespan, work_years),
+            regimes,
+            chain,
+        };
+        calibration.validate();
+        calibration
+    }
+
+    /// A small stochastic economy for tests and examples: `lifespan`
+    /// generations, `num_states` equiprobable persistent states with
+    /// productivity spread `±spread` around 1 and a common tax pair.
+    pub fn small(lifespan: usize, work_years: usize, num_states: usize, spread: f64) -> Calibration {
+        let chain = MarkovChain::persistent(num_states, 0.8);
+        let regimes = (0..num_states)
+            .map(|z| {
+                let tilt = if num_states == 1 {
+                    0.0
+                } else {
+                    2.0 * z as f64 / (num_states - 1) as f64 - 1.0
+                };
+                RegimeSpec {
+                    productivity: 1.0 + spread * tilt,
+                    labor_tax: 0.25 + 0.03 * tilt,
+                    capital_tax: 0.15,
+                }
+            })
+            .collect();
+        let calibration = Calibration {
+            lifespan,
+            work_years,
+            beta: 0.95,
+            gamma: 2.0,
+            capital_share: 0.33,
+            depreciation: 0.08,
+            efficiency: Self::hump_efficiency(lifespan, work_years),
+            regimes,
+            chain,
+        };
+        calibration.validate();
+        calibration
+    }
+
+    /// The deterministic (single-state) version of [`small`](Self::small),
+    /// whose recursive equilibrium is the analytic steady state — the
+    /// convergence oracle of the test suite.
+    pub fn deterministic(lifespan: usize, work_years: usize) -> Calibration {
+        Self::small(lifespan, work_years, 1, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_matches_paper_shape() {
+        let c = Calibration::headline();
+        assert_eq!(c.lifespan, 60);
+        assert_eq!(c.dim(), 59);
+        assert_eq!(c.ndofs(), 118);
+        assert_eq!(c.num_states(), 16);
+        assert_eq!(c.retirees(), 14); // ages 47..60 (calendar 67..80+)
+        c.validate();
+    }
+
+    #[test]
+    fn efficiency_profile_is_a_hump() {
+        let e = Calibration::hump_efficiency(60, 46);
+        // Rises early, falls late, zero in retirement.
+        assert!(e[10] > e[0]);
+        let peak = e
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((20..46).contains(&peak), "peak at {peak}");
+        assert!(e[45] < e[peak]);
+        assert_eq!(e[46], 0.0);
+        assert_eq!(e[59], 0.0);
+        // Normalized to mean one over working life.
+        let mean: f64 = e.iter().take(46).sum::<f64>() / 46.0;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_economies_validate() {
+        for states in [1usize, 2, 4] {
+            let c = Calibration::small(6, 4, states, 0.05);
+            assert_eq!(c.num_states(), states);
+            assert_eq!(c.dim(), 5);
+            c.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retirement must happen strictly inside")]
+    fn rejects_no_retirement() {
+        let mut c = Calibration::small(6, 4, 1, 0.0);
+        c.work_years = 6;
+        c.validate();
+    }
+}

@@ -1,0 +1,510 @@
+//! The per-grid-point equilibrium system of the stochastic OLG model
+//! (Sec. II-A): given `(z, x)` and next period's policy `p_next`, solve the
+//! `A−1` Euler equations for today's savings vector and recover the value
+//! functions — the function `f` of the functional equation (3).
+
+use crate::calibration::Calibration;
+use crate::economy::{income, marginal_utility, prices, utility, Prices};
+use crate::steady::{solve_steady_state, SteadyState};
+use hddm_solver::{newton, NewtonOptions, NewtonReport, SolverError};
+
+/// Next-period policy interpolation, the hot path the paper's kernels
+/// accelerate. The time-iteration driver implements this on top of the
+/// compressed ASG kernels; tests implement it with closed forms.
+pub trait PolicyOracle {
+    /// Writes the `ndofs` interpolated coefficients
+    /// `(ŝ'_1…ŝ'_{A−1}, v̂'_1…v̂'_{A−1})` of discrete state `z_next` at the
+    /// *physical* state `x_next` into `out`. Implementations clamp
+    /// `x_next` into the domain box (the paper's truncation).
+    fn eval(&mut self, z_next: usize, x_next: &[f64], out: &mut [f64]);
+}
+
+/// Blanket implementation so plain closures can serve as oracles in tests.
+impl<F> PolicyOracle for F
+where
+    F: FnMut(usize, &[f64], &mut [f64]),
+{
+    fn eval(&mut self, z_next: usize, x_next: &[f64], out: &mut [f64]) {
+        self(z_next, x_next, out)
+    }
+}
+
+/// Reusable buffers for one point solve (per worker thread).
+#[derive(Clone, Debug, Default)]
+pub struct PointScratch {
+    x_next: Vec<f64>,
+    policy_next: Vec<f64>,
+    prices_next: Vec<Prices>,
+    wealth: Vec<f64>,
+}
+
+/// The solved point: today's policies, values, and solver diagnostics.
+#[derive(Clone, Debug)]
+pub struct PointSolution {
+    /// Savings `s_1..s_{A−1}`.
+    pub savings: Vec<f64>,
+    /// Values `v_1..v_{A−1}`.
+    pub values: Vec<f64>,
+    /// Consumption `c_1..c_A` at the solution.
+    pub consumption: Vec<f64>,
+    /// Newton diagnostics.
+    pub report: NewtonReport,
+}
+
+impl PointSolution {
+    /// Packs the solution into the `ndofs` surplus-row layout
+    /// `(s_1…s_{A−1}, v_1…v_{A−1})`.
+    pub fn dof_row(&self) -> Vec<f64> {
+        let mut row = self.savings.clone();
+        row.extend_from_slice(&self.values);
+        row
+    }
+}
+
+/// The OLG model bundled with its steady state and state-space box.
+#[derive(Clone, Debug)]
+pub struct OlgModel {
+    /// Model calibration.
+    pub cal: Calibration,
+    /// Steady state of the deterministic reference economy.
+    pub steady: SteadyState,
+    /// Lower bounds of the state box `B` (length `d`).
+    pub lower: Vec<f64>,
+    /// Upper bounds of the state box `B` (length `d`).
+    pub upper: Vec<f64>,
+}
+
+/// Width policy for the state box around the steady state.
+#[derive(Clone, Copy, Debug)]
+pub struct BoxPolicy {
+    /// Relative half-width for aggregate capital.
+    pub capital_span: f64,
+    /// Relative half-width applied to each cohort's steady asset level.
+    pub wealth_rel: f64,
+    /// Absolute half-width floor, as a fraction of the peak steady asset
+    /// level (keeps near-zero cohorts from collapsing the box).
+    pub wealth_abs: f64,
+}
+
+impl Default for BoxPolicy {
+    fn default() -> Self {
+        BoxPolicy {
+            capital_span: 0.30,
+            wealth_rel: 0.50,
+            wealth_abs: 0.15,
+        }
+    }
+}
+
+impl OlgModel {
+    /// Builds the model: solves the reference steady state and centers the
+    /// box `B` on it.
+    pub fn new(cal: Calibration) -> Self {
+        Self::with_box(cal, BoxPolicy::default())
+    }
+
+    /// Builds with an explicit box policy.
+    pub fn with_box(cal: Calibration, policy: BoxPolicy) -> Self {
+        cal.validate();
+        let steady = solve_steady_state(&cal);
+        let d = cal.dim();
+        let mut lower = Vec::with_capacity(d);
+        let mut upper = Vec::with_capacity(d);
+        lower.push(steady.capital * (1.0 - policy.capital_span));
+        upper.push(steady.capital * (1.0 + policy.capital_span));
+        let peak = steady
+            .assets
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-6);
+        for a in 2..cal.lifespan {
+            let center = steady.assets[a - 1];
+            let span = policy.wealth_rel * center.abs() + policy.wealth_abs * peak;
+            lower.push(center - span);
+            upper.push(center + span);
+        }
+        OlgModel {
+            cal,
+            steady,
+            lower,
+            upper,
+        }
+    }
+
+    /// Continuous dimensionality `d = A − 1`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.cal.dim()
+    }
+
+    /// Coefficients per point (`2·(A−1)`).
+    #[inline]
+    pub fn ndofs(&self) -> usize {
+        self.cal.ndofs()
+    }
+
+    /// Number of discrete states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.cal.num_states()
+    }
+
+    /// Beginning-of-period wealth by age implied by the state vector:
+    /// `ω_1 = 0`, `ω_a = x[a−1]` for `a = 2..A−1`, and the adding-up
+    /// residual `ω_A = K − Σ_{a=2}^{A−1} ω_a`.
+    pub fn wealth_from_state(&self, x: &[f64], wealth: &mut Vec<f64>) {
+        let a_max = self.cal.lifespan;
+        debug_assert_eq!(x.len(), a_max - 1);
+        wealth.clear();
+        wealth.push(0.0);
+        let mut sum = 0.0;
+        for a in 2..a_max {
+            let w = x[a - 1];
+            wealth.push(w);
+            sum += w;
+        }
+        wealth.push(x[0] - sum);
+    }
+
+    /// The state tomorrow implied by today's savings:
+    /// `x' = (Σ_a s_a, s_1, …, s_{A−2})`.
+    pub fn next_state(&self, savings: &[f64], x_next: &mut Vec<f64>) {
+        let a_max = self.cal.lifespan;
+        debug_assert_eq!(savings.len(), a_max - 1);
+        x_next.clear();
+        x_next.push(savings.iter().sum());
+        x_next.extend_from_slice(&savings[..a_max - 2]);
+    }
+
+    /// Evaluates the `A−1` relative Euler residuals
+    /// `1 − β·E[R̃'·u'(c'_{a+1})]/u'(c_a)` at `(z, x)` for candidate
+    /// `savings`, interpolating next-period policies through `oracle`.
+    ///
+    /// Returns `Err(Rejected)` when implied aggregate capital tomorrow is
+    /// non-positive (prices undefined) — the Newton line search backs off.
+    pub fn euler_residuals(
+        &self,
+        z: usize,
+        x: &[f64],
+        savings: &[f64],
+        oracle: &mut dyn PolicyOracle,
+        scratch: &mut PointScratch,
+        out: &mut [f64],
+    ) -> Result<(), SolverError> {
+        let cal = &self.cal;
+        let a_max = cal.lifespan;
+        let ndofs = self.ndofs();
+        debug_assert_eq!(out.len(), a_max - 1);
+
+        let k_next: f64 = savings.iter().sum();
+        if k_next <= 1e-9 {
+            return Err(SolverError::Rejected(format!(
+                "non-positive aggregate capital tomorrow: {k_next}"
+            )));
+        }
+
+        let p = prices(cal, z, x[0].max(1e-9));
+        self.wealth_from_state(x, &mut scratch.wealth);
+
+        self.next_state(savings, &mut scratch.x_next);
+        let ns = cal.num_states();
+        scratch.policy_next.resize(ns * ndofs, 0.0);
+        scratch.prices_next.clear();
+        for z_next in 0..ns {
+            oracle.eval(
+                z_next,
+                &scratch.x_next,
+                &mut scratch.policy_next[z_next * ndofs..(z_next + 1) * ndofs],
+            );
+            scratch.prices_next.push(prices(cal, z_next, k_next));
+        }
+
+        let transition = cal.chain.row(z);
+        for a in 1..a_max {
+            let c_today =
+                p.gross_return * scratch.wealth[a - 1] + income(cal, z, &p, a) - savings[a - 1];
+            let mut expectation = 0.0;
+            for z_next in 0..ns {
+                let pi = transition[z_next];
+                if pi == 0.0 {
+                    continue;
+                }
+                let pn = &scratch.prices_next[z_next];
+                let s_next = if a + 1 < a_max {
+                    scratch.policy_next[z_next * ndofs + a]
+                } else {
+                    0.0 // the oldest generation saves nothing
+                };
+                let c_tomorrow = pn.gross_return * savings[a - 1]
+                    + income(cal, z_next, pn, a + 1)
+                    - s_next;
+                expectation += pi * pn.gross_return * marginal_utility(cal.gamma, c_tomorrow);
+            }
+            out[a - 1] = 1.0 - cal.beta * expectation / marginal_utility(cal.gamma, c_today);
+        }
+        Ok(())
+    }
+
+    /// Recovers the value functions `v_1..v_{A−1}` and consumption profile
+    /// at solved `savings` (one extra oracle sweep, reusing the scratch
+    /// buffers filled by the last residual evaluation).
+    pub fn values_at(
+        &self,
+        z: usize,
+        x: &[f64],
+        savings: &[f64],
+        oracle: &mut dyn PolicyOracle,
+        scratch: &mut PointScratch,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let cal = &self.cal;
+        let a_max = cal.lifespan;
+        let ndofs = self.ndofs();
+        let ns = cal.num_states();
+
+        let p = prices(cal, z, x[0].max(1e-9));
+        self.wealth_from_state(x, &mut scratch.wealth);
+        self.next_state(savings, &mut scratch.x_next);
+        let k_next: f64 = savings.iter().sum();
+        scratch.policy_next.resize(ns * ndofs, 0.0);
+        scratch.prices_next.clear();
+        for z_next in 0..ns {
+            oracle.eval(
+                z_next,
+                &scratch.x_next,
+                &mut scratch.policy_next[z_next * ndofs..(z_next + 1) * ndofs],
+            );
+            scratch.prices_next.push(prices(cal, z_next, k_next.max(1e-9)));
+        }
+
+        let mut consumption = Vec::with_capacity(a_max);
+        for a in 1..a_max {
+            consumption.push(
+                p.gross_return * scratch.wealth[a - 1] + income(cal, z, &p, a) - savings[a - 1],
+            );
+        }
+        consumption.push(p.gross_return * scratch.wealth[a_max - 1] + income(cal, z, &p, a_max));
+
+        let transition = cal.chain.row(z);
+        let mut values = vec![0.0; a_max - 1];
+        for a in 1..a_max {
+            let mut continuation = 0.0;
+            for z_next in 0..ns {
+                let pi = transition[z_next];
+                if pi == 0.0 {
+                    continue;
+                }
+                let v_next = if a + 1 < a_max {
+                    scratch.policy_next[z_next * ndofs + (a_max - 1) + a]
+                } else {
+                    // v'_A is closed-form: the oldest consumes everything.
+                    let pn = &scratch.prices_next[z_next];
+                    let c_last =
+                        pn.gross_return * savings[a_max - 2] + income(cal, z_next, pn, a_max);
+                    utility(cal.gamma, c_last)
+                };
+                continuation += pi * v_next;
+            }
+            values[a - 1] = utility(cal.gamma, consumption[a - 1]) + cal.beta * continuation;
+        }
+        (values, consumption)
+    }
+
+    /// Solves the full point problem: Newton on the Euler system from
+    /// `guess` (savings part of a dof row), then the value recursion.
+    pub fn solve_point(
+        &self,
+        z: usize,
+        x: &[f64],
+        guess: &[f64],
+        oracle: &mut dyn PolicyOracle,
+        scratch: &mut PointScratch,
+        options: &NewtonOptions,
+    ) -> Result<PointSolution, SolverError> {
+        let n = self.cal.lifespan - 1;
+        let mut savings = guess[..n].to_vec();
+        let report = newton(
+            |s, out| self.euler_residuals(z, x, s, oracle, scratch, out),
+            &mut savings,
+            options,
+        )?;
+        let (values, consumption) = self.values_at(z, x, &savings, oracle, scratch);
+        Ok(PointSolution {
+            savings,
+            values,
+            consumption,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle returning the steady-state dof row regardless of the query
+    /// point — exact in the deterministic steady state.
+    struct SteadyOracle {
+        row: Vec<f64>,
+    }
+
+    impl PolicyOracle for SteadyOracle {
+        fn eval(&mut self, _z: usize, _x: &[f64], out: &mut [f64]) {
+            out.copy_from_slice(&self.row);
+        }
+    }
+
+    #[test]
+    fn steady_state_solves_the_euler_system() {
+        // At x = x̄ with p_next = steady policies, the residuals must
+        // vanish: the steady state is a recursive equilibrium of the
+        // deterministic model.
+        let model = OlgModel::new(Calibration::deterministic(8, 6));
+        let x = model.steady.state_vector();
+        let savings = model.steady.savings.clone();
+        let mut oracle = SteadyOracle {
+            row: model.steady.dof_row(),
+        };
+        let mut scratch = PointScratch::default();
+        let mut out = vec![0.0; 7];
+        model
+            .euler_residuals(0, &x, &savings, &mut oracle, &mut scratch, &mut out)
+            .unwrap();
+        for (a, r) in out.iter().enumerate() {
+            assert!(r.abs() < 1e-9, "Euler residual age {a}: {r}");
+        }
+    }
+
+    #[test]
+    fn steady_values_satisfy_bellman() {
+        let model = OlgModel::new(Calibration::deterministic(8, 6));
+        let x = model.steady.state_vector();
+        let mut oracle = SteadyOracle {
+            row: model.steady.dof_row(),
+        };
+        let mut scratch = PointScratch::default();
+        let (values, consumption) = model.values_at(
+            0,
+            &x,
+            &model.steady.savings.clone(),
+            &mut oracle,
+            &mut scratch,
+        );
+        for a in 0..values.len() {
+            assert!(
+                (values[a] - model.steady.values[a]).abs() < 1e-9,
+                "value {a}: {} vs {}",
+                values[a],
+                model.steady.values[a]
+            );
+        }
+        for a in 0..consumption.len() {
+            assert!((consumption[a] - model.steady.consumption[a]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn newton_recovers_steady_policies_from_perturbed_guess() {
+        let model = OlgModel::new(Calibration::deterministic(6, 4));
+        let x = model.steady.state_vector();
+        let mut oracle = SteadyOracle {
+            row: model.steady.dof_row(),
+        };
+        let mut scratch = PointScratch::default();
+        let mut guess = model.steady.dof_row();
+        for (k, g) in guess.iter_mut().enumerate() {
+            *g *= 1.0 + 0.05 * ((k as f64).sin());
+        }
+        let solution = model
+            .solve_point(0, &x, &guess, &mut oracle, &mut scratch, &NewtonOptions::default())
+            .unwrap();
+        for (a, s) in solution.savings.iter().enumerate() {
+            assert!(
+                (s - model.steady.savings[a]).abs() < 1e-6,
+                "savings {a}: {s} vs {}",
+                model.steady.savings[a]
+            );
+        }
+    }
+
+    #[test]
+    fn state_transition_is_consistent() {
+        // x' built from steady savings must reproduce the steady state.
+        let model = OlgModel::new(Calibration::deterministic(8, 6));
+        let mut x_next = Vec::new();
+        model.next_state(&model.steady.savings, &mut x_next);
+        let x_bar = model.steady.state_vector();
+        for (t, (got, want)) in x_next.iter().zip(&x_bar).enumerate() {
+            assert!((got - want).abs() < 1e-9, "dim {t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn wealth_adding_up_constraint() {
+        let model = OlgModel::new(Calibration::deterministic(6, 4));
+        let x = model.steady.state_vector();
+        let mut wealth = Vec::new();
+        model.wealth_from_state(&x, &mut wealth);
+        assert_eq!(wealth.len(), 6);
+        assert_eq!(wealth[0], 0.0);
+        let total: f64 = wealth.iter().sum();
+        assert!((total - x[0]).abs() < 1e-12, "Σω = K");
+        // Oldest cohort's wealth matches the steady path.
+        assert!((wealth[5] - model.steady.assets[5]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_capital_tomorrow_is_rejected() {
+        let model = OlgModel::new(Calibration::deterministic(6, 4));
+        let x = model.steady.state_vector();
+        let savings = vec![-1.0; 5];
+        let mut oracle = SteadyOracle {
+            row: model.steady.dof_row(),
+        };
+        let mut scratch = PointScratch::default();
+        let mut out = vec![0.0; 5];
+        let err = model
+            .euler_residuals(0, &x, &savings, &mut oracle, &mut scratch, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, SolverError::Rejected(_)));
+    }
+
+    #[test]
+    fn box_contains_steady_state() {
+        let model = OlgModel::new(Calibration::small(8, 6, 2, 0.05));
+        let x = model.steady.state_vector();
+        for t in 0..model.dim() {
+            assert!(
+                model.lower[t] < x[t] && x[t] < model.upper[t],
+                "dim {t}: {} not in [{}, {}]",
+                x[t],
+                model.lower[t],
+                model.upper[t]
+            );
+        }
+    }
+
+    #[test]
+    fn stochastic_point_solve_converges() {
+        // Two-state economy, oracle = steady row (a consistent first
+        // iterate of time iteration): Newton must converge at an off-center
+        // point.
+        let model = OlgModel::new(Calibration::small(6, 4, 2, 0.05));
+        let mut x = model.steady.state_vector();
+        for (t, v) in x.iter_mut().enumerate() {
+            let span = model.upper[t] - model.lower[t];
+            *v += 0.1 * span * if t % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let mut oracle = SteadyOracle {
+            row: model.steady.dof_row(),
+        };
+        let mut scratch = PointScratch::default();
+        let guess = model.steady.dof_row();
+        for z in 0..2 {
+            let solution = model
+                .solve_point(z, &x, &guess, &mut oracle, &mut scratch, &NewtonOptions::default())
+                .expect("point solve");
+            assert!(solution.report.residual_norm < 1e-9);
+            assert!(solution.consumption.iter().all(|&c| c > 0.0));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests of the OLG economy: accounting identities at arbitrary
+//! states and policies, price monotonicity, and Markov-chain laws.
+
+use proptest::prelude::*;
+
+use hddm_olg::{
+    income, prices, Calibration, MarkovChain, OlgModel, PointScratch, PolicyOracle,
+};
+
+struct ConstOracle(Vec<f64>);
+impl PolicyOracle for ConstOracle {
+    fn eval(&mut self, _z: usize, _x: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Household budget aggregation: at ANY state and ANY feasible savings
+    /// vector, Σ c_a + K' = R̃·K + wL·(1−τl) + pensions + …, which
+    /// collapses to the goods-market identity Σ c_a + K' = Y + (1−δ)K.
+    #[test]
+    fn walras_at_arbitrary_states(
+        k in 0.5f64..6.0,
+        tilt in -0.3f64..0.3,
+        savings_scale in 0.5f64..1.5,
+        z in 0usize..2,
+    ) {
+        let cal = Calibration::small(6, 4, 2, 0.05);
+        let model = OlgModel::new(cal.clone());
+        // Perturbed state around the steady path.
+        let mut x = model.steady.state_vector();
+        x[0] = k;
+        for v in x.iter_mut().skip(1) {
+            *v *= 1.0 + tilt;
+        }
+        let savings: Vec<f64> = model.steady.savings.iter().map(|s| s * savings_scale).collect();
+
+        let p = prices(&cal, z, k);
+        let mut wealth = Vec::new();
+        model.wealth_from_state(&x, &mut wealth);
+        let mut consumption_total = 0.0;
+        for a in 1..=6usize {
+            let s_a = if a < 6 { savings[a - 1] } else { 0.0 };
+            consumption_total += p.gross_return * wealth[a - 1] + income(&cal, z, &p, a) - s_a;
+        }
+        let k_next: f64 = savings.iter().sum();
+        let resources = p.output + (1.0 - cal.depreciation) * k;
+        prop_assert!(
+            (consumption_total + k_next - resources).abs() < 1e-8 * resources.abs(),
+            "C + K' = {} vs Y + (1-δ)K = {}",
+            consumption_total + k_next,
+            resources
+        );
+    }
+
+    /// Factor prices are monotone in aggregate capital: r falls, w rises.
+    #[test]
+    fn price_monotonicity(k1 in 0.5f64..4.0, dk in 0.1f64..2.0) {
+        let cal = Calibration::small(6, 4, 2, 0.05);
+        let p1 = prices(&cal, 0, k1);
+        let p2 = prices(&cal, 0, k1 + dk);
+        prop_assert!(p2.interest < p1.interest);
+        prop_assert!(p2.wage > p1.wage);
+        prop_assert!(p2.output > p1.output);
+    }
+
+    /// Euler residuals are zero at the steady state and bounded elsewhere;
+    /// rejections happen exactly when K' ≤ 0.
+    #[test]
+    fn residual_sanity(scale in 0.2f64..1.8) {
+        let model = OlgModel::new(Calibration::deterministic(6, 4));
+        let x = model.steady.state_vector();
+        let savings: Vec<f64> = model.steady.savings.iter().map(|s| s * scale).collect();
+        let mut oracle = ConstOracle(model.steady.dof_row());
+        let mut scratch = PointScratch::default();
+        let mut out = vec![0.0; 5];
+        let result = model.euler_residuals(0, &x, &savings, &mut oracle, &mut scratch, &mut out);
+        let k_next: f64 = savings.iter().sum();
+        if k_next > 1e-9 {
+            prop_assert!(result.is_ok());
+            prop_assert!(out.iter().all(|r| r.is_finite()));
+            if (scale - 1.0).abs() < 1e-12 {
+                prop_assert!(out.iter().all(|r| r.abs() < 1e-9));
+            }
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    /// Markov stationary distribution is a fixed point of the transition
+    /// operator for random persistent chains.
+    #[test]
+    fn stationary_fixed_point(n in 2usize..6, persistence in 0.05f64..0.95) {
+        let chain = MarkovChain::persistent(n, persistence);
+        let pi = chain.stationary();
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for to in 0..n {
+            let flowed: f64 = (0..n).map(|from| pi[from] * chain.prob(from, to)).sum();
+            prop_assert!((flowed - pi[to]).abs() < 1e-9);
+        }
+    }
+
+    /// Product chains preserve stochasticity and independence.
+    #[test]
+    fn product_chain_laws(pa in 0.1f64..0.9, pb in 0.1f64..0.9) {
+        let a = MarkovChain::persistent(3, pa);
+        let b = MarkovChain::persistent(2, pb);
+        let joint = a.product(&b);
+        prop_assert_eq!(joint.num_states(), 6);
+        for from in 0..6 {
+            let sum: f64 = (0..6).map(|to| joint.prob(from, to)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-10);
+        }
+        // Marginal over b reproduces a.
+        for fa in 0..3 {
+            for ta in 0..3 {
+                let marginal: f64 = (0..2).map(|tb| joint.prob(fa * 2, ta * 2 + tb)).sum();
+                prop_assert!((marginal - a.prob(fa, ta)).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # hddm-sched — work-stealing task scheduling
+//!
+//! The intra-node parallelization layer of Sec. IV-A, substituting for
+//! Intel TBB: a work-stealing `parallel_for` over grid points
+//! ([`pool::parallel_for`]) and the hybrid CPU+accelerator dispatch of
+//! Fig. 2, where one thread is dedicated to feeding the GPU with large
+//! preempted batches ([`hybrid::hybrid_for`]).
+//!
+//! The scheduler is deliberately independent of what the tasks do — the
+//! time-iteration driver hands it per-grid-point equation solves, the
+//! benches hand it synthetic loads.
+
+#![warn(missing_docs)]
+
+pub mod hybrid;
+pub mod pool;
+
+pub use hybrid::{hybrid_for, HybridConfig, HybridStats};
+pub use pool::{parallel_for, parallel_for_init, Chunk, LoadStats, PoolConfig};

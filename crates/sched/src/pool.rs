@@ -1,0 +1,388 @@
+//! Work-stealing parallel-for over grid-point indices — the TBB substitute
+//! (Sec. IV-A: "the threads leverage TBB's automatic workload balancing
+//! based on stealing tasks from the slower workers").
+//!
+//! Built on `crossbeam-deque`: a global injector seeded with index chunks,
+//! one LIFO worker deque per thread, and stealers between all pairs. Each
+//! solved chunk decrements a shared outstanding counter; workers exit when
+//! it reaches zero.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+
+/// A half-open index range, the unit of scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First index.
+    pub lo: usize,
+    /// One past the last index.
+    pub hi: usize,
+}
+
+impl Chunk {
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the chunk is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+}
+
+/// Per-worker execution statistics, for load-balance reporting.
+#[derive(Clone, Debug, Default)]
+pub struct LoadStats {
+    /// Items processed by each worker.
+    pub items_per_worker: Vec<usize>,
+    /// Successful steals per worker (from the injector or peers).
+    pub steals_per_worker: Vec<usize>,
+}
+
+impl LoadStats {
+    /// Load imbalance = max/mean of per-worker item counts (1.0 is
+    /// perfect).
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.items_per_worker.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.items_per_worker.len() as f64;
+        let max = *self.items_per_worker.iter().max().unwrap() as f64;
+        max / mean
+    }
+}
+
+/// Configuration of a parallel-for execution.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Items per scheduling chunk (grid points per task).
+    pub grain: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            grain: 1,
+        }
+    }
+}
+
+/// Decrements the outstanding-chunk counter on drop, so a chunk is
+/// retired even when the task unwinds — peers then drain the rest and the
+/// panic propagates out of the thread scope instead of deadlocking it.
+/// (The panicking worker's own deque stays stealable: `crossbeam-deque`
+/// stealers hold the buffer alive independently of the `Worker`.)
+pub(crate) struct RetireGuard<'a>(pub(crate) &'a AtomicUsize);
+
+impl Drop for RetireGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Runs `task(index)` for every index in `0..n`, work-stealing across
+/// `config.threads` threads. `task` observes each index exactly once.
+pub fn parallel_for<F>(n: usize, config: &PoolConfig, task: F) -> LoadStats
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_init(n, config, || (), |(), i| task(i))
+}
+
+/// Like [`parallel_for`], but each worker first builds private state with
+/// `init` and threads it through its `task` calls — the pattern for
+/// per-thread solver scratch and oracles.
+pub fn parallel_for_init<S, I, F>(n: usize, config: &PoolConfig, init: I, task: F) -> LoadStats
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    let threads = config.threads.max(1);
+    let grain = config.grain.max(1);
+    if threads == 1 || n <= grain {
+        let mut state = init();
+        for i in 0..n {
+            task(&mut state, i);
+        }
+        let mut stats = LoadStats::default();
+        stats.items_per_worker = vec![n];
+        stats.steals_per_worker = vec![0];
+        return stats;
+    }
+
+    let injector = Injector::new();
+    let mut outstanding = 0usize;
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + grain).min(n);
+        injector.push(Chunk { lo, hi });
+        outstanding += 1;
+        lo = hi;
+    }
+    let remaining = AtomicUsize::new(outstanding);
+
+    let workers: Vec<Worker<Chunk>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Chunk>> = workers.iter().map(|w| w.stealer()).collect();
+
+    let counters: Vec<(AtomicUsize, AtomicUsize)> = (0..threads)
+        .map(|_| (AtomicUsize::new(0), AtomicUsize::new(0)))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (me, worker) in workers.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let remaining = &remaining;
+            let counters = &counters;
+            let task = &task;
+            let init = &init;
+            scope.spawn(move || {
+                let (items, steals) = &counters[me];
+                let mut state = init();
+                loop {
+                    // Local pop first; otherwise steal from the injector or
+                    // a slower peer.
+                    let (chunk, stolen) = match worker.pop() {
+                        Some(c) => (Some(c), false),
+                        None => {
+                            let acquired = std::iter::repeat_with(|| {
+                                injector.steal_batch_and_pop(&worker).or_else(|| {
+                                    stealers
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(other, _)| *other != me)
+                                        .map(|(_, s)| s.steal())
+                                        .collect()
+                                })
+                            })
+                            .find(|s| !s.is_retry())
+                            .and_then(Steal::success);
+                            (acquired, true)
+                        }
+                    };
+                    match chunk {
+                        Some(chunk) => {
+                            if stolen {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Decrement on unwind too: if a task panics,
+                            // peers must still observe the chunk as retired
+                            // or they spin forever and the panic never
+                            // propagates out of the thread scope.
+                            let _retire = RetireGuard(remaining);
+                            for i in chunk.lo..chunk.hi {
+                                task(&mut state, i);
+                            }
+                            items.fetch_add(chunk.len(), Ordering::Relaxed);
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    LoadStats {
+        items_per_worker: counters
+            .iter()
+            .map(|(i, _)| i.load(Ordering::Relaxed))
+            .collect(),
+        steals_per_worker: counters
+            .iter()
+            .map(|(_, s)| s.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_index_exactly_once() {
+        let n = 1000;
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let stats = parallel_for(
+            n,
+            &PoolConfig {
+                threads: 4,
+                grain: 7,
+            },
+            |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        let total: usize = stats.items_per_worker.iter().sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let stats = parallel_for(0, &PoolConfig::default(), |_| panic!("no items"));
+        assert_eq!(stats.items_per_worker.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn single_thread_is_sequential() {
+        let order = std::sync::Mutex::new(Vec::new());
+        parallel_for(
+            10,
+            &PoolConfig {
+                threads: 1,
+                grain: 3,
+            },
+            |i| order.lock().unwrap().push(i),
+        );
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn imbalanced_work_is_shared() {
+        // Tasks yield so peer workers get scheduled even on a single-core
+        // host; with per-item chunks, stealing must then spread the work.
+        let n = 400;
+        let stats = parallel_for(
+            n,
+            &PoolConfig {
+                threads: 4,
+                grain: 1,
+            },
+            |i| {
+                let reps = if i % 10 == 0 { 5 } else { 1 };
+                for _ in 0..reps {
+                    std::thread::yield_now();
+                }
+            },
+        );
+        let total: usize = stats.items_per_worker.iter().sum();
+        assert_eq!(total, n);
+        // At least one other worker must have obtained work.
+        let busy = stats.items_per_worker.iter().filter(|&&c| c > 0).count();
+        assert!(busy >= 2, "{:?}", stats.items_per_worker);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let stats = LoadStats {
+            items_per_worker: vec![10, 10, 10, 10],
+            steals_per_worker: vec![0; 4],
+        };
+        assert!((stats.imbalance() - 1.0).abs() < 1e-12);
+        let skew = LoadStats {
+            items_per_worker: vec![40, 0, 0, 0],
+            steals_per_worker: vec![0; 4],
+        };
+        assert!((skew.imbalance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_worker_state_is_private_and_initialized_once() {
+        use std::sync::Mutex;
+        // Each worker's state is a (worker_tag, count) pair; verify init
+        // runs once per worker thread and state never crosses threads.
+        let inits = AtomicU32::new(0);
+        let observed = Mutex::new(Vec::new());
+        let n = 300;
+        parallel_for_init(
+            n,
+            &PoolConfig {
+                threads: 3,
+                grain: 5,
+            },
+            || {
+                let tag = inits.fetch_add(1, Ordering::SeqCst);
+                (tag, 0usize)
+            },
+            |(tag, count), _i| {
+                *count += 1;
+                observed.lock().unwrap().push((*tag, *count));
+            },
+        );
+        assert!(inits.load(Ordering::SeqCst) <= 3);
+        // Per-tag counts must be the strictly increasing sequence 1..=k —
+        // interleaving across threads would break it if state leaked.
+        let mut per_tag: std::collections::HashMap<u32, usize> = Default::default();
+        let mut total = 0usize;
+        for (tag, count) in observed.into_inner().unwrap() {
+            let prev = per_tag.entry(tag).or_insert(0);
+            assert_eq!(count, *prev + 1, "tag {tag}");
+            *prev = count;
+            total += 1;
+        }
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn grain_larger_than_n_degenerates_to_serial() {
+        let hits: Vec<AtomicU32> = (0..10).map(|_| AtomicU32::new(0)).collect();
+        let stats = parallel_for(
+            10,
+            &PoolConfig {
+                threads: 8,
+                grain: 100,
+            },
+            |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // Serial fast path reports a single worker.
+        assert_eq!(stats.items_per_worker, vec![10]);
+        assert_eq!(stats.steals_per_worker, vec![0]);
+    }
+
+    #[test]
+    fn panics_in_tasks_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(
+                50,
+                &PoolConfig {
+                    threads: 2,
+                    grain: 1,
+                },
+                |i| {
+                    if i == 17 {
+                        panic!("injected");
+                    }
+                },
+            );
+        });
+        assert!(result.is_err(), "worker panic must not be swallowed");
+    }
+
+    #[test]
+    fn steals_are_recorded() {
+        // With more threads than one and per-item chunks from the
+        // injector, at least one acquisition is counted as a steal (the
+        // injector grab itself counts).
+        let stats = parallel_for(
+            64,
+            &PoolConfig {
+                threads: 2,
+                grain: 1,
+            },
+            |_| std::thread::yield_now(),
+        );
+        let steals: usize = stats.steals_per_worker.iter().sum();
+        assert!(steals > 0);
+    }
+}

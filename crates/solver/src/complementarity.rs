@@ -1,0 +1,100 @@
+//! Fischer–Burmeister complementarity smoothing.
+//!
+//! The paper solves its per-point problems with Ipopt, an NLP solver that
+//! handles bound constraints (non-negative savings) natively. The Newton
+//! substitute treats the Karush–Kuhn–Tucker complementarity condition
+//! `min(x − lo, F(x)) = 0` through the Fischer–Burmeister NCP function
+//!
+//! `φ(a, b) = a + b − √(a² + b²)`,
+//!
+//! which is semismooth with `φ(a, b) = 0 ⇔ a ≥ 0, b ≥ 0, ab = 0`, keeping
+//! the system square and (almost everywhere) differentiable.
+
+/// The Fischer–Burmeister function `φ(a, b) = a + b − √(a² + b²)`.
+#[inline]
+pub fn fischer_burmeister(a: f64, b: f64) -> f64 {
+    a + b - (a * a + b * b).sqrt()
+}
+
+/// Transforms one equation of a mixed complementarity problem:
+/// given the raw residual `f` and the slack `x − lo`, returns the smoothed
+/// residual that is zero iff (`x > lo` and `f = 0`) or (`x = lo` and
+/// `f ≥ 0`).
+#[inline]
+pub fn lower_bound_residual(x: f64, lo: f64, f: f64) -> f64 {
+    fischer_burmeister(x - lo, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newton::{newton, NewtonOptions};
+
+    #[test]
+    fn fb_zero_set_is_complementarity() {
+        // a=0, b>=0.
+        assert!(fischer_burmeister(0.0, 3.0).abs() < 1e-15);
+        // a>=0, b=0.
+        assert!(fischer_burmeister(2.0, 0.0).abs() < 1e-15);
+        // Both strictly positive (complementarity violated) -> positive
+        // value: φ(1,1) = 2 − √2.
+        assert!(fischer_burmeister(1.0, 1.0) > 0.5);
+        // Infeasible: a<0 -> nonzero.
+        assert!(fischer_burmeister(-1.0, 2.0).abs() > 0.1);
+    }
+
+    #[test]
+    fn solves_constrained_saving_problem() {
+        // Euler equation u'(c) = βR u'(w − s) with s >= 0 and a large
+        // endowment tomorrow, so the unconstrained optimum wants s < 0 —
+        // the constraint must bind at s = 0 (at s=0 the FOC is
+        // 1 − 0.5/9 > 0, i.e. the agent would like to borrow).
+        let (beta, r, w, gamma): (f64, f64, f64, f64) = (0.5, 1.0, 1.0, 2.0);
+        let mut x = vec![0.2]; // saving
+        newton(
+            |x, out| {
+                let s = x[0];
+                let c_today = w - s;
+                let c_tomorrow = r * s + 3.0; // endowment tomorrow
+                if c_today <= 0.0 || c_tomorrow <= 0.0 {
+                    return Err(crate::SolverError::Rejected("negative consumption".into()));
+                }
+                // FOC residual: u'(c_t) − βR u'(c_{t+1}) >= 0 ⟂ s >= 0.
+                let foc = c_today.powf(-gamma) - beta * r * c_tomorrow.powf(-gamma);
+                out[0] = lower_bound_residual(s, 0.0, foc);
+                Ok(())
+            },
+            &mut x,
+            &NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!(x[0].abs() < 1e-7, "constraint should bind, s = {}", x[0]);
+    }
+
+    #[test]
+    fn unconstrained_region_recovers_plain_foc() {
+        // With βR > 1 the agent saves strictly: FB residual = FOC residual.
+        let (beta, r, w, gamma): (f64, f64, f64, f64) = (0.99, 1.10, 2.0, 2.0);
+        let mut x = vec![0.5];
+        newton(
+            |x, out| {
+                let s = x[0];
+                let c_today = w - s;
+                let c_tomorrow = r * s;
+                if c_today <= 0.0 || c_tomorrow <= 1e-12 {
+                    return Err(crate::SolverError::Rejected("negative consumption".into()));
+                }
+                let foc = c_today.powf(-gamma) - beta * r * c_tomorrow.powf(-gamma);
+                out[0] = lower_bound_residual(s, 0.0, foc);
+                Ok(())
+            },
+            &mut x,
+            &NewtonOptions::default(),
+        )
+        .unwrap();
+        let s = x[0];
+        assert!(s > 0.1);
+        let foc = (w - s).powf(-gamma) - beta * r * (r * s).powf(-gamma);
+        assert!(foc.abs() < 1e-6, "interior FOC should hold, foc = {foc}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Bracketing scalar root finding (Brent's method) — used by the OLG crate
+//! for steady-state calibration and by tests as an independent oracle.
+
+use crate::SolverError;
+
+/// Finds a root of `f` in `[a, b]` with Brent's method. Requires a sign
+/// change on the bracket.
+pub fn brent<F>(mut f: F, mut a: f64, mut b: f64, tol: f64, max_iter: usize) -> Result<f64, SolverError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(SolverError::Rejected(format!(
+            "no sign change on [{a}, {b}]: f(a)={fa}, f(b)={fb}"
+        )));
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond = !((lo.min(b) < s && s < lo.max(b))
+            && !(mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            && !(!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            && !(mflag && (b - c).abs() < tol)
+            && !(!mflag && (c - d).abs() < tol));
+        if cond {
+            s = (a + b) / 2.0;
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(SolverError::MaxIterations { residual: fb.abs() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt2() {
+        let root = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 100).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn finds_cos_root() {
+        let root = brent(|x| x.cos(), 0.0, 3.0, 1e-12, 100).unwrap();
+        assert!((root - std::f64::consts::FRAC_PI_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn endpoint_roots_returned_immediately() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_bracket() {
+        assert!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn handles_steep_functions() {
+        let root = brent(|x: f64| x.exp() - 1e6, 0.0, 20.0, 1e-12, 200).unwrap();
+        assert!((root - (1e6f64).ln()).abs() < 1e-8);
+    }
+}

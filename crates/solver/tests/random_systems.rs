@@ -1,0 +1,107 @@
+//! Property tests for the solver crate: LU against random well-conditioned
+//! systems, Newton against affine systems (must converge in one step) and
+//! randomized monotone nonlinear systems.
+
+use proptest::prelude::*;
+
+use hddm_solver::{newton, DenseMatrix, Lu, NewtonOptions};
+
+fn diag_dominant(n: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut a = DenseMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = rnd();
+        }
+        a[(i, i)] += n as f64 * 0.75 + 2.0;
+    }
+    let x: Vec<f64> = (0..n).map(|_| rnd() * 4.0).collect();
+    (a, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LU solves random diagonally dominant systems to high accuracy.
+    #[test]
+    fn lu_random_systems(n in 1usize..24, seed in any::<u64>()) {
+        let (a, x_true) = diag_dominant(n, seed);
+        let mut b = vec![0.0; n];
+        a.matvec(&x_true, &mut b);
+        let lu = Lu::factor(&a).unwrap();
+        lu.solve(&mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    /// Newton on affine systems converges essentially immediately.
+    #[test]
+    fn newton_affine(n in 1usize..12, seed in any::<u64>()) {
+        let (a, x_true) = diag_dominant(n, seed);
+        let mut rhs = vec![0.0; n];
+        a.matvec(&x_true, &mut rhs);
+        let mut x = vec![0.0; n];
+        let report = newton(
+            |x, out| {
+                a.matvec(x, out);
+                for (o, r) in out.iter_mut().zip(&rhs) {
+                    *o -= r;
+                }
+                Ok(())
+            },
+            &mut x,
+            &NewtonOptions::default(),
+        ).unwrap();
+        prop_assert!(report.iterations <= 3, "{report:?}");
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    /// Newton on a strictly monotone nonlinear perturbation of a dominant
+    /// linear system finds the unique root.
+    #[test]
+    fn newton_monotone_nonlinear(n in 1usize..10, seed in any::<u64>()) {
+        let (a, _) = diag_dominant(n, seed);
+        let mut x = vec![0.25; n];
+        let report = newton(
+            |x, out| {
+                a.matvec(x, out);
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o += x[i].tanh() - 0.8;
+                }
+                Ok(())
+            },
+            &mut x,
+            &NewtonOptions { max_iterations: 120, ..Default::default() },
+        ).unwrap();
+        prop_assert!(report.residual_norm < 1e-9);
+        // Verify the root independently.
+        let mut check = vec![0.0; n];
+        a.matvec(&x, &mut check);
+        for (i, c) in check.iter().enumerate() {
+            prop_assert!((c + x[i].tanh() - 0.8).abs() < 1e-8);
+        }
+    }
+
+    /// The Fischer–Burmeister function's zero set is exactly the
+    /// complementarity set.
+    #[test]
+    fn fb_zero_set(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let phi = hddm_solver::fischer_burmeister(a, b);
+        let complementary = a >= -1e-12 && b >= -1e-12 && (a * b).abs() < 1e-12;
+        if complementary {
+            prop_assert!(phi.abs() < 1e-6, "phi({a},{b}) = {phi}");
+        }
+        if phi.abs() < 1e-12 {
+            prop_assert!(a >= -1e-6 && b >= -1e-6 && a.min(b) < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Why *adaptive* sparse grids (Sec. III, Fig. 1): on functions with
+//! local features — exactly what kinked economic policy functions look
+//! like — a-posteriori refinement concentrates points where the surpluses
+//! are large and beats the a-priori regular sparse grid point-for-point.
+//!
+//! The target has a kink in its first coordinate (a borrowing constraint
+//! binding at a capital threshold — the shape OLG savings policies take):
+//!
+//! ```text
+//! f(x) = |x₀ − 0.4|^1.5 + smooth background over the other dimensions
+//! ```
+//!
+//! The demo sweeps regular levels against adaptive ε values and prints
+//! points vs. L∞/L2 error on a fixed Monte Carlo probe set.
+//!
+//! ```text
+//! cargo run --release --example adaptive_grids [dim]
+//! ```
+
+use hddm::asg::{
+    hierarchize, interpolate_reference, refine_frontier, regular_grid, tabulate, RefineConfig,
+    SparseGrid, SurplusNorm,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn target(x: &[f64]) -> f64 {
+    let d = x.len() as f64;
+    (x[0] - 0.4).abs().powf(1.5)
+        + 0.2 * x.iter().map(|&v| (2.0 * v).sin()).sum::<f64>() / d
+}
+
+fn errors(grid: &SparseGrid, surplus: &[f64], probes: &[Vec<f64>]) -> (f64, f64) {
+    let mut out = [0.0];
+    let mut linf = 0.0f64;
+    let mut sum_sq = 0.0;
+    for x in probes {
+        interpolate_reference(grid, surplus, 1, x, &mut out);
+        let err = (out[0] - target(x)).abs();
+        linf = linf.max(err);
+        sum_sq += err * err;
+    }
+    (linf, (sum_sq / probes.len() as f64).sqrt())
+}
+
+fn main() {
+    let dim: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let probes: Vec<Vec<f64>> = (0..2000)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+
+    println!("target: kink |x0 − 0.4|^1.5 + smooth background, d = {dim}\n");
+
+    println!("regular sparse grids (a-priori selection, Eq. 13):");
+    println!("  {:>6} {:>9} {:>12} {:>12}", "level", "points", "Linf", "L2");
+    for level in 2..=6u8 {
+        let grid = regular_grid(dim, level);
+        let mut surplus = tabulate(&grid, 1, |x, out| out[0] = target(x));
+        hierarchize(&grid, &mut surplus, 1);
+        let (linf, l2) = errors(&grid, &surplus, &probes);
+        println!("  {:>6} {:>9} {:>12.3e} {:>12.3e}", level, grid.len(), linf, l2);
+    }
+
+    println!("\nadaptive sparse grids (a-posteriori, g(α) ≥ ε, Lmax = 8):");
+    println!("  {:>8} {:>9} {:>12} {:>12}", "epsilon", "points", "Linf", "L2");
+    for &epsilon in &[1e-2, 3e-3, 1e-3, 3e-4] {
+        // Start from the level-2 regular grid and refine level by level,
+        // exactly like the driver's per-step loop.
+        let mut grid = regular_grid(dim, 2);
+        let mut surplus = tabulate(&grid, 1, |x, out| out[0] = target(x));
+        hierarchize(&grid, &mut surplus, 1);
+        let mut frontier: Vec<u32> = (0..grid.len() as u32).collect();
+        let config = RefineConfig {
+            epsilon,
+            max_level: 8,
+            norm: SurplusNorm::MaxAbs,
+        };
+        loop {
+            let report = refine_frontier(&mut grid, &surplus, 1, &frontier, &config);
+            if report.new_nodes.is_empty() {
+                break;
+            }
+            // Re-tabulate + re-hierarchize the grown grid (the driver does
+            // this incrementally; the demo keeps it simple).
+            surplus = tabulate(&grid, 1, |x, out| out[0] = target(x));
+            hierarchize(&grid, &mut surplus, 1);
+            frontier = report.new_nodes;
+        }
+        let (linf, l2) = errors(&grid, &surplus, &probes);
+        println!("  {:>8.0e} {:>9} {:>12.3e} {:>12.3e}", epsilon, grid.len(), linf, l2);
+    }
+
+    println!("\nreading: at equal point budgets the adaptive grid reaches a lower error");
+    println!("— the \"second layer of sparsity\" of Fig. 1, and the reason the paper's");
+    println!("production runs are ε-driven rather than level-driven.");
+}

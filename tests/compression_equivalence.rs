@@ -1,0 +1,263 @@
+//! Property-based integration tests: the compressed representation and
+//! every kernel built on it are *exact* reformulations of the dense
+//! sparse-grid interpolant — on arbitrary adaptive grids, arbitrary
+//! surpluses, arbitrary evaluation points.
+
+use proptest::prelude::*;
+
+use hddm::asg::{
+    hierarchize, interpolate_reference, regular_grid, ActiveCoord, NodeKey, SparseGrid,
+};
+use hddm::compress::CompressedGrid;
+use hddm::gpu::{CudaInterpolator, Device};
+use hddm::kernels::{gold, CompressedState, DenseState, KernelKind, Scratch};
+
+/// Strategy: a random ancestor-closed adaptive grid in `dim` dimensions.
+fn adaptive_grid(dim: usize) -> impl Strategy<Value = SparseGrid> {
+    let coords = prop::collection::vec(
+        (0..dim as u16, 2u8..=5u8, any::<u32>()),
+        0..12,
+    );
+    coords.prop_map(move |raw| {
+        let mut grid = SparseGrid::new(dim);
+        grid.insert(NodeKey::root());
+        for nodes in raw.chunks(2) {
+            let active: Vec<ActiveCoord> = nodes
+                .iter()
+                .map(|&(d, l, i_seed)| {
+                    let indices = hddm::asg::basis::level_indices(l);
+                    ActiveCoord {
+                        dim: d,
+                        level: l,
+                        index: indices[(i_seed as usize) % indices.len()],
+                    }
+                })
+                .collect();
+            // Deduplicate dims: keep the first occurrence.
+            let mut seen = std::collections::HashSet::new();
+            let unique: Vec<ActiveCoord> = active
+                .into_iter()
+                .filter(|c| seen.insert(c.dim))
+                .collect();
+            grid.insert_closed(NodeKey::from_coords(unique));
+        }
+        grid
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// compressed scalar == dense reference on random adaptive grids.
+    #[test]
+    fn compressed_equals_reference(
+        grid in adaptive_grid(4),
+        seed in any::<u64>(),
+    ) {
+        let ndofs = 3;
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let surplus: Vec<f64> = (0..grid.len() * ndofs).map(|_| rnd()).collect();
+        let cg = CompressedGrid::build(&grid);
+        let reordered = cg.reorder_rows(&surplus, ndofs);
+        let mut xpv = vec![0.0; cg.xps().len()];
+        let mut got = vec![0.0; ndofs];
+        let mut want = vec![0.0; ndofs];
+        for _ in 0..5 {
+            let x: Vec<f64> = (0..4).map(|_| rnd() + 0.5).collect();
+            cg.interpolate_scalar(&reordered, ndofs, &x, &mut xpv, &mut got);
+            interpolate_reference(&grid, &surplus, ndofs, &x, &mut want);
+            for k in 0..ndofs {
+                prop_assert!((got[k] - want[k]).abs() < 1e-10,
+                    "dof {} at {:?}: {} vs {}", k, x, got[k], want[k]);
+            }
+        }
+    }
+
+    /// Every kernel (including the simulated GPU) agrees with `gold` on
+    /// random adaptive grids.
+    #[test]
+    fn all_kernels_agree(
+        grid in adaptive_grid(3),
+        seed in any::<u64>(),
+    ) {
+        let ndofs = 5;
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let surplus: Vec<f64> = (0..grid.len() * ndofs).map(|_| rnd()).collect();
+        let dense = DenseState::new(&grid, surplus.clone(), ndofs);
+        let compressed = CompressedState::new(&grid, &surplus, ndofs);
+        let cuda = CudaInterpolator::new(Device::p100(), &compressed).unwrap();
+        let mut scratch = Scratch::default();
+        let mut want = vec![0.0; ndofs];
+        let mut got = vec![0.0; ndofs];
+        for _ in 0..3 {
+            let x: Vec<f64> = (0..3).map(|_| rnd() + 0.5).collect();
+            gold::interpolate(&dense, &x, &mut want);
+            for kind in KernelKind::COMPRESSED {
+                kind.evaluate_compressed(&compressed, &x, &mut scratch, &mut got);
+                for k in 0..ndofs {
+                    prop_assert!((got[k] - want[k]).abs() < 1e-10, "{:?}", kind);
+                }
+            }
+            cuda.interpolate(&x, &mut got);
+            for k in 0..ndofs {
+                prop_assert!((got[k] - want[k]).abs() < 1e-10, "cuda");
+            }
+        }
+    }
+
+    /// Interpolation reproduces tabulated values exactly at grid points
+    /// (hierarchization round trip) on random adaptive grids.
+    #[test]
+    fn exactness_at_nodes(grid in adaptive_grid(3)) {
+        let ndofs = 2;
+        let values = hddm::asg::tabulate(&grid, ndofs, |x, out| {
+            out[0] = (3.1 * x[0] - 1.7 * x[1]).sin() + x[2];
+            out[1] = x[0] * x[1] * x[2] + 0.25;
+        });
+        let mut surplus = values.clone();
+        hierarchize(&grid, &mut surplus, ndofs);
+        let compressed = CompressedState::new(&grid, &surplus, ndofs);
+        let mut scratch = Scratch::default();
+        let mut out = vec![0.0; ndofs];
+        let mut x = vec![0.0; 3];
+        for p in 0..grid.len() {
+            grid.unit_point_of(p, &mut x);
+            KernelKind::Avx2.evaluate_compressed(&compressed, &x, &mut scratch, &mut out);
+            for k in 0..ndofs {
+                prop_assert!((out[k] - values[p * ndofs + k]).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Closure invariant: ancestor-closed insertion keeps the grid closed
+    /// under arbitrary insert sequences.
+    #[test]
+    fn closure_invariant(grid in adaptive_grid(4)) {
+        prop_assert!(grid.is_ancestor_closed());
+    }
+
+    /// The hash-table storage scheme (the paper's *other* incumbent,
+    /// Sec. IV-B) agrees with the dense reference on random adaptive
+    /// grids.
+    #[test]
+    fn hash_table_equals_reference(
+        grid in adaptive_grid(4),
+        seed in any::<u64>(),
+    ) {
+        use hddm::kernels::{hashtab, HashState};
+        let ndofs = 3;
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let surplus: Vec<f64> = (0..grid.len() * ndofs).map(|_| rnd()).collect();
+        let hashed = HashState::new(&grid, &surplus, ndofs);
+        let mut got = vec![0.0; ndofs];
+        let mut want = vec![0.0; ndofs];
+        for _ in 0..5 {
+            let x: Vec<f64> = (0..4).map(|_| rnd() + 0.5).collect();
+            hashtab::interpolate(&hashed, &x, &mut got);
+            interpolate_reference(&grid, &surplus, ndofs, &x, &mut want);
+            for k in 0..ndofs {
+                prop_assert!((got[k] - want[k]).abs() < 1e-10,
+                    "dof {} at {:?}: {} vs {}", k, x, got[k], want[k]);
+            }
+        }
+    }
+
+    /// The two chain-walk ablation variants (no zero-skip; grid-order
+    /// surplus gather) compute the same interpolant as the production
+    /// kernel on random adaptive grids.
+    #[test]
+    fn ablation_variants_agree(
+        grid in adaptive_grid(3),
+        seed in any::<u64>(),
+    ) {
+        use hddm::kernels::x86;
+        let ndofs = 2;
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let surplus: Vec<f64> = (0..grid.len() * ndofs).map(|_| rnd()).collect();
+        let cg = CompressedGrid::build(&grid);
+        let compressed = CompressedState::new(&grid, &surplus, ndofs);
+        let reordered = cg.reorder_rows(&surplus, ndofs);
+        let mut scratch = Scratch::default();
+        let mut xpv = vec![0.0; cg.xps().len()];
+        let mut want = vec![0.0; ndofs];
+        let mut got = vec![0.0; ndofs];
+        for _ in 0..4 {
+            let x: Vec<f64> = (0..3).map(|_| rnd() + 0.5).collect();
+            x86::interpolate(&compressed, &x, &mut scratch, &mut want);
+            x86::interpolate_no_skip(&compressed, &x, &mut scratch, &mut got);
+            for k in 0..ndofs {
+                prop_assert!((got[k] - want[k]).abs() < 1e-12, "no_skip dof {}", k);
+            }
+            cg.interpolate_scalar_unordered(&surplus, ndofs, &x, &mut xpv, &mut got);
+            cg.interpolate_scalar(&reordered, ndofs, &x, &mut xpv, &mut want);
+            for k in 0..ndofs {
+                prop_assert!((got[k] - want[k]).abs() < 1e-12, "unordered dof {}", k);
+            }
+        }
+    }
+
+    /// Compressed grids survive dismantling into raw arrays and
+    /// revalidation — the invariant the checkpoint file format rests on.
+    #[test]
+    fn raw_parts_roundtrip_on_random_grids(grid in adaptive_grid(4)) {
+        let cg = CompressedGrid::build(&grid);
+        let rebuilt = CompressedGrid::from_raw_parts(
+            cg.dim(),
+            cg.nfreq(),
+            cg.xps().to_vec(),
+            cg.chains().to_vec(),
+            cg.order().to_vec(),
+        );
+        prop_assert_eq!(rebuilt.nno(), cg.nno());
+        prop_assert_eq!(rebuilt.chains(), cg.chains());
+        prop_assert_eq!(rebuilt.order(), cg.order());
+        prop_assert_eq!(rebuilt.xps(), cg.xps());
+    }
+}
+
+/// The exact Table-I shape on the real 59-dimensional grids (not random —
+/// pinned paper numbers, kept here because it crosses asg + compress).
+#[test]
+fn table1_pinned_numbers() {
+    let grid3 = regular_grid(59, 3);
+    assert_eq!(grid3.len(), 7_081);
+    let cg3 = CompressedGrid::build(&grid3);
+    assert_eq!(cg3.xps().len(), 237);
+    assert_eq!(cg3.nfreq(), 2);
+
+    let grid4 = regular_grid(59, 4);
+    assert_eq!(grid4.len(), 281_077);
+    let cg4 = CompressedGrid::build(&grid4);
+    assert_eq!(cg4.xps().len(), 473);
+    assert_eq!(cg4.nfreq(), 3);
+
+    // 16 states · 281,077 points · 59 unknowns = 265,336,688 (Sec. V-C).
+    assert_eq!(16u64 * 281_077 * 59, 265_336_688);
+    // 16 · 119 = 1,904 points and 112,336 variables (Sec. V-B).
+    assert_eq!(16 * 119, 1_904);
+    assert_eq!(16 * 119 * 59, 112_336);
+}
