@@ -106,7 +106,11 @@ pub fn support_index(level: u8, x: f64) -> Option<(u32, f64)> {
         1 => Some((1, 1.0)),
         2 => {
             // φ_{2,0} lives on [0, ½], φ_{2,2} on [½, 1]; both vanish at ½.
-            let (i, v) = if x < 0.5 { (0, 1.0 - 2.0 * x) } else { (2, 2.0 * x - 1.0) };
+            let (i, v) = if x < 0.5 {
+                (0, 1.0 - 2.0 * x)
+            } else {
+                (2, 2.0 * x - 1.0)
+            };
             (v > 0.0).then_some((i, v))
         }
         l => {
@@ -123,7 +127,7 @@ pub fn support_index(level: u8, x: f64) -> Option<(u32, f64)> {
 #[inline]
 pub fn exp2i(e: i32) -> f64 {
     debug_assert!((-60..=60).contains(&e));
-    f64::from_bits((((1023 + e) as u64) << 52) as u64)
+    f64::from_bits(((1023 + e) as u64) << 52)
 }
 
 /// Whether `(level, index)` denotes a grid point of the hierarchy.
@@ -190,7 +194,7 @@ pub fn parent(level: u8, index: u32) -> Option<(u8, u32)> {
         2 => Some((1, 1)),
         3 => Some((2, index - 1)),
         l => {
-            let up = (index + 1) / 2;
+            let up = index.div_ceil(2);
             if up % 2 == 1 {
                 Some((l - 1, up))
             } else {
@@ -218,7 +222,7 @@ pub fn reduce(level: u8, index: u32) -> (u8, u32) {
     }
     let mut l = level;
     let mut i = index;
-    while i % 2 == 0 {
+    while i.is_multiple_of(2) {
         i /= 2;
         l -= 1;
     }

@@ -61,13 +61,7 @@ fn transform(grid: &SparseGrid, values: &mut [f64], ndofs: usize, dir: Direction
 }
 
 /// Applies the 1-D stencil along dimension `t` to every bucket.
-fn transform_dim(
-    grid: &SparseGrid,
-    values: &mut [f64],
-    ndofs: usize,
-    t: u16,
-    dir: Direction,
-) {
+fn transform_dim(grid: &SparseGrid, values: &mut [f64], ndofs: usize, t: u16, dir: Direction) {
     // Bucket nodes by their key with dimension t stripped. Each bucket is a
     // 1-D hierarchy {(level, index) -> dense node id}.
     let mut buckets: HashMap<NodeKey, Vec<(u8, u32, u32)>> = HashMap::new();
@@ -87,8 +81,8 @@ fn transform_dim(
         // Fine-to-coarse for hierarchization, coarse-to-fine for the
         // inverse (so "predictions" always use fully (un)transformed data).
         match dir {
-            Direction::Forward => chain.sort_unstable_by(|a, b| b.0.cmp(&a.0)),
-            Direction::Backward => chain.sort_unstable_by(|a, b| a.0.cmp(&b.0)),
+            Direction::Forward => chain.sort_unstable_by_key(|a| std::cmp::Reverse(a.0)),
+            Direction::Backward => chain.sort_unstable_by_key(|a| a.0),
         }
         let position: HashMap<(u8, u32), u32> = chain
             .iter()
@@ -216,7 +210,11 @@ mod tests {
     fn assert_exact_at_nodes(grid: &SparseGrid, ndofs: usize) {
         let values = tabulate(grid, ndofs, |x, out| {
             for (k, o) in out.iter_mut().enumerate() {
-                *o = x.iter().enumerate().map(|(t, &v)| (t + k + 1) as f64 * v * v).sum::<f64>()
+                *o = x
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &v)| (t + k + 1) as f64 * v * v)
+                    .sum::<f64>()
                     + (k as f64).sin();
             }
         });
@@ -327,6 +325,11 @@ mod tests {
         };
         // Compare interior hierarchical levels (boundary levels 2-3 carry
         // large corrections by construction).
-        assert!(avg(6) < avg(4), "avg|α| level 6 {} !< level 4 {}", avg(6), avg(4));
+        assert!(
+            avg(6) < avg(4),
+            "avg|α| level 6 {} !< level 4 {}",
+            avg(6),
+            avg(4)
+        );
     }
 }

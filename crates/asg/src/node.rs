@@ -97,8 +97,7 @@ impl NodeKey {
     /// index)`. Setting level 1 removes the coordinate.
     pub fn with_coord(&self, dim: u16, level: u8, index: u32) -> NodeKey {
         debug_assert!(basis::valid(level, index));
-        let mut coords: Vec<ActiveCoord> =
-            self.active().filter(|c| c.dim != dim).collect();
+        let mut coords: Vec<ActiveCoord> = self.active().filter(|c| c.dim != dim).collect();
         if level >= 2 {
             coords.push(ActiveCoord { dim, level, index });
         }
@@ -122,11 +121,7 @@ impl NodeKey {
     /// criterion (Eq. 13); inactive dimensions contribute 1 each.
     #[inline]
     pub fn level_sum(&self, dim: usize) -> u32 {
-        dim as u32
-            + self
-                .active()
-                .map(|c| c.level as u32 - 1)
-                .sum::<u32>()
+        dim as u32 + self.active().map(|c| c.level as u32 - 1).sum::<u32>()
     }
 
     /// `|ľ|_∞`, the maximum level over all dimensions.

@@ -35,9 +35,7 @@ pub fn basis_integral(level: u8) -> f64 {
 /// integrals (inactive dimensions contribute the constant's factor 1).
 #[inline]
 pub fn node_weight(node: &NodeKey) -> f64 {
-    node.active()
-        .map(|c| basis_integral(c.level))
-        .product()
+    node.active().map(|c| basis_integral(c.level)).product()
 }
 
 /// Per-node quadrature weights of the whole grid, in dense node order.
@@ -151,7 +149,8 @@ mod tests {
     #[test]
     fn smooth_integrand_converges_with_level() {
         // ∫ sin(πx)·sin(πy) over [0,1]² = (2/π)².
-        let f = |x: &[f64]| (std::f64::consts::PI * x[0]).sin() * (std::f64::consts::PI * x[1]).sin();
+        let f =
+            |x: &[f64]| (std::f64::consts::PI * x[0]).sin() * (std::f64::consts::PI * x[1]).sin();
         let want = (2.0 / std::f64::consts::PI).powi(2);
         let mut last = f64::INFINITY;
         for level in [3u8, 5, 7] {
@@ -169,8 +168,16 @@ mod tests {
         // *interpolant itself* (quadrature must integrate u, not f).
         let mut grid = SparseGrid::new(2);
         grid.insert_closed(NodeKey::from_coords([
-            ActiveCoord { dim: 0, level: 4, index: 3 },
-            ActiveCoord { dim: 1, level: 3, index: 1 },
+            ActiveCoord {
+                dim: 0,
+                level: 4,
+                index: 3,
+            },
+            ActiveCoord {
+                dim: 1,
+                level: 3,
+                index: 1,
+            },
         ]));
         grid.insert_closed(NodeKey::from_coords([ActiveCoord {
             dim: 1,

@@ -18,9 +18,7 @@ impl SurplusNorm {
     pub fn indicator(self, row: &[f64]) -> f64 {
         match self {
             SurplusNorm::MaxAbs => row.iter().fold(0.0f64, |m, v| m.max(v.abs())),
-            SurplusNorm::Rms => {
-                (row.iter().map(|v| v * v).sum::<f64>() / row.len() as f64).sqrt()
-            }
+            SurplusNorm::Rms => (row.iter().map(|v| v * v).sum::<f64>() / row.len() as f64).sqrt(),
         }
     }
 }

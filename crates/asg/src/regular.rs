@@ -18,7 +18,7 @@ use crate::node::{ActiveCoord, NodeKey};
 /// `b ≤ n − 1` active dimensions, so we enumerate active-dimension subsets
 /// and level assignments recursively rather than scanning `L^d` candidates.
 pub fn regular_grid(dim: usize, n: u8) -> SparseGrid {
-    assert!(n >= 1 && n <= basis::MAX_LEVEL, "level out of range");
+    assert!((1..=basis::MAX_LEVEL).contains(&n), "level out of range");
     let mut grid = SparseGrid::new(dim);
     grid.insert(NodeKey::root());
     let budget = n as u32 - 1; // total level excess Σ (l_t − 1)
@@ -144,7 +144,7 @@ mod tests {
         let n = 4u8;
         let grid = regular_grid(dim, n);
         for node in grid.nodes() {
-            assert!(node.level_sum(dim) <= n as u32 + dim as u32 - 1);
+            assert!(node.level_sum(dim) < n as u32 + dim as u32);
         }
         assert!(grid.is_ancestor_closed());
     }

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use hddm_asg::{
-    basis, dehierarchize, hierarchize, interpolate_reference, regular_grid, tabulate,
-    ActiveCoord, NodeKey, SparseGrid,
+    basis, dehierarchize, hierarchize, interpolate_reference, regular_grid, tabulate, ActiveCoord,
+    NodeKey, SparseGrid,
 };
 
 /// A random valid 1-D (level, index) pair with level ≥ 2.
@@ -40,7 +40,9 @@ fn closed_grid(dim: usize) -> impl Strategy<Value = SparseGrid> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    // Cases and RNG seed are pinned so CI explores the identical grid
+    // population every run — a failure here reproduces locally verbatim.
+    #![proptest_config(ProptestConfig::with_cases(128).with_rng_seed(0xA560_0001))]
 
     /// Hat functions are bounded by [0, 1] and peak exactly at their node.
     #[test]

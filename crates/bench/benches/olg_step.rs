@@ -16,8 +16,12 @@ fn bench_olg_step(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter_batched(
                 || {
-                    let model =
-                        OlgModel::new(Calibration::small(lifespan, (lifespan * 3) / 4, states, 0.03));
+                    let model = OlgModel::new(Calibration::small(
+                        lifespan,
+                        (lifespan * 3) / 4,
+                        states,
+                        0.03,
+                    ));
                     TimeIteration::new(
                         OlgStep::new(model),
                         DriverConfig {

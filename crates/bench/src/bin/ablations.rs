@@ -56,7 +56,12 @@ fn main() {
         });
         let mut iter = xs.chunks_exact(59).cycle();
         let t_chain = time_avg(points, || {
-            x86::interpolate(&case.compressed, iter.next().unwrap(), &mut scratch, &mut out);
+            x86::interpolate(
+                &case.compressed,
+                iter.next().unwrap(),
+                &mut scratch,
+                &mut out,
+            );
         });
         println!("\n  storage scheme              time [sec]    vs dense");
         for (label, t) in [
@@ -93,7 +98,12 @@ fn main() {
         // --- Ablation 3: zero-skip early exit.
         let mut iter = xs.chunks_exact(59).cycle();
         let t_skip = time_avg(points, || {
-            x86::interpolate(&case.compressed, iter.next().unwrap(), &mut scratch, &mut out);
+            x86::interpolate(
+                &case.compressed,
+                iter.next().unwrap(),
+                &mut scratch,
+                &mut out,
+            );
         });
         let mut iter = xs.chunks_exact(59).cycle();
         let t_noskip = time_avg(points, || {
@@ -115,11 +125,35 @@ fn main() {
         println!("\n  GPU launch (P100 model)     modeled [sec]     flops      dram [MB]  blocks");
         let x0: Vec<f64> = xs[..59].to_vec();
         for (label, opts) in [
-            ("block  32, shared xpv", LaunchOptions { block_size: 32, stage_xpv_shared: true }),
+            (
+                "block  32, shared xpv",
+                LaunchOptions {
+                    block_size: 32,
+                    stage_xpv_shared: true,
+                },
+            ),
             ("block 128, shared xpv", LaunchOptions::default()),
-            ("block 256, shared xpv", LaunchOptions { block_size: 256, stage_xpv_shared: true }),
-            ("block 512, shared xpv", LaunchOptions { block_size: 512, stage_xpv_shared: true }),
-            ("block 128, global xpv", LaunchOptions { block_size: 128, stage_xpv_shared: false }),
+            (
+                "block 256, shared xpv",
+                LaunchOptions {
+                    block_size: 256,
+                    stage_xpv_shared: true,
+                },
+            ),
+            (
+                "block 512, shared xpv",
+                LaunchOptions {
+                    block_size: 512,
+                    stage_xpv_shared: true,
+                },
+            ),
+            (
+                "block 128, global xpv",
+                LaunchOptions {
+                    block_size: 128,
+                    stage_xpv_shared: false,
+                },
+            ),
         ] {
             let gpu = CudaInterpolator::with_options(Device::p100(), &case.compressed, opts)
                 .expect("launch");

@@ -26,12 +26,21 @@ fn main() {
     println!();
     println!("calibrating: solving {sample} real 59-dim OLG points (single thread)...");
     let t_point = calibrate_point_seconds(sample, 2);
-    println!("measured per-point solve: {:.4} s  (this host, 1 thread)", t_point);
+    println!(
+        "measured per-point solve: {:.4} s  (this host, 1 thread)",
+        t_point
+    );
     let host_serial = t_point * POINTS as f64;
-    println!("=> full instance on this host, 1 thread: {:.0} s (paper's Xeon: 2,243 s)", host_serial);
+    println!(
+        "=> full instance on this host, 1 thread: {:.0} s (paper's Xeon: 2,243 s)",
+        host_serial
+    );
     println!();
 
-    println!("{:<44} {:>12} {:>9}", "configuration", "wall [sec]", "speedup");
+    println!(
+        "{:<44} {:>12} {:>9}",
+        "configuration", "wall [sec]", "speedup"
+    );
     let variants = fig7_variants();
     let reference = variants[0].wall_time(POINTS, t_point);
     for v in &variants {

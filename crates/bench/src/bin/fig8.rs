@@ -26,7 +26,10 @@ fn main() {
     println!();
     println!("calibrating: solving {sample} real 59-dim OLG points (single thread)...");
     let t_host = calibrate_point_seconds(sample, 2);
-    println!("measured per-point solve on this host: {:.4} s (Newton)", t_host);
+    println!(
+        "measured per-point solve on this host: {:.4} s (Newton)",
+        t_host
+    );
 
     // The simulated node is a 2017 Cray XC50 node running Ipopt, not this
     // host: anchor its per-point cost to the paper's own single-node
@@ -43,9 +46,15 @@ fn main() {
 
     let model = ClusterModel::piz_daint(t_point);
     let levels = vec![
-        LevelWork { points_per_state: vec![119; 16] },
-        LevelWork { points_per_state: vec![6_962; 16] },
-        LevelWork { points_per_state: vec![273_996; 16] },
+        LevelWork {
+            points_per_state: vec![119; 16],
+        },
+        LevelWork {
+            points_per_state: vec![6_962; 16],
+        },
+        LevelWork {
+            points_per_state: vec![273_996; 16],
+        },
     ];
     let nodes = [1usize, 4, 16, 64, 256, 1024, 4096];
     let sweep = strong_scaling_sweep(&model, &levels, &nodes);

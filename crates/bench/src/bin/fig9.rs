@@ -72,8 +72,13 @@ fn main() {
             let max_pts = report.points_per_state.iter().max().unwrap();
             println!(
                 "{:>5} {:>9.0e} {:>12.3e} {:>12.3e} {:>14.2} {:>9}..{:<7}",
-                iter, epsilon, report.sup_change, report.l2_change, cumulative_seconds,
-                min_pts, max_pts
+                iter,
+                epsilon,
+                report.sup_change,
+                report.l2_change,
+                cumulative_seconds,
+                min_pts,
+                max_pts
             );
             // Stalled at this ε? Move to the next refinement threshold.
             if report.sup_change > 0.98 * last_sup || report.sup_change < 1e-3 * epsilon {
@@ -110,6 +115,10 @@ fn main() {
     );
     println!(
         "paper's termination criterion: average error below 0.1% (10^-3); path mean {}",
-        if path.mean_error < 1e-3 { "PASSES" } else { "does not pass yet" }
+        if path.mean_error < 1e-3 {
+            "PASSES"
+        } else {
+            "does not pass yet"
+        }
     );
 }

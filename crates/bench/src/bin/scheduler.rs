@@ -37,9 +37,18 @@ fn main() {
     for (label, policy) in [
         ("static equal split", Assignment::StaticEqual),
         ("static speed-proportional", Assignment::StaticProportional),
-        ("work stealing, chunk 512", Assignment::WorkStealing { chunk: 512 }),
-        ("work stealing, chunk 64", Assignment::WorkStealing { chunk: 64 }),
-        ("work stealing, chunk 8", Assignment::WorkStealing { chunk: 8 }),
+        (
+            "work stealing, chunk 512",
+            Assignment::WorkStealing { chunk: 512 },
+        ),
+        (
+            "work stealing, chunk 64",
+            Assignment::WorkStealing { chunk: 64 },
+        ),
+        (
+            "work stealing, chunk 8",
+            Assignment::WorkStealing { chunk: 8 },
+        ),
     ] {
         let r = schedule(&fleet, &costs, policy);
         println!(
@@ -83,11 +92,7 @@ fn main() {
         ("work stealing (grain 4)", 4usize),
     ] {
         let t0 = std::time::Instant::now();
-        let stats = parallel_for(
-            n,
-            &PoolConfig { threads, grain },
-            |i| spin(task_costs[i]),
-        );
+        let stats = parallel_for(n, &PoolConfig { threads, grain }, |i| spin(task_costs[i]));
         let wall = t0.elapsed().as_secs_f64();
         let max_items = stats.items_per_worker.iter().max().copied().unwrap_or(0);
         let min_items = stats.items_per_worker.iter().min().copied().unwrap_or(0);

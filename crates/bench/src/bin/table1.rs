@@ -11,7 +11,10 @@ use hddm_compress::CompressedGrid;
 
 fn main() {
     println!("Table I — interpolation test cases (d = 59, 16 states)");
-    println!("{:<8} {:>4} {:>10} {:>6} {:>8} {:>11}", "test", "d", "nno", "level", "#states", "xps/state");
+    println!(
+        "{:<8} {:>4} {:>10} {:>6} {:>8} {:>11}",
+        "test", "d", "nno", "level", "#states", "xps/state"
+    );
     for (name, level) in [("\"7k\"", 3u8), ("\"300k\"", 4u8)] {
         let grid = paper_grid(level);
         let cg = CompressedGrid::build(&grid);

@@ -22,10 +22,12 @@ fn main() {
         .unwrap_or(1000);
 
     println!("Table II — interpolation kernel performance (ndofs = {NDOFS}, avg over {points} random points)");
-    println!("host AVX support: avx={} avx2+fma={} avx512f={}",
+    println!(
+        "host AVX support: avx={} avx2+fma={} avx512f={}",
         vector::VectorIsa::Avx.native(),
         vector::VectorIsa::Avx2.native(),
-        vector::VectorIsa::Avx512.native());
+        vector::VectorIsa::Avx512.native()
+    );
     println!();
 
     for (name, level, reps) in [("7k", 3u8, points), ("300k", 4u8, points)] {
@@ -48,17 +50,29 @@ fn main() {
         for kind in KernelKind::COMPRESSED {
             let mut iter = xs.chunks_exact(59).cycle();
             let t = time_avg(reps, || {
-                kind.evaluate_compressed(&case.compressed, iter.next().unwrap(), &mut scratch, &mut out);
+                kind.evaluate_compressed(
+                    &case.compressed,
+                    iter.next().unwrap(),
+                    &mut scratch,
+                    &mut out,
+                );
             });
             rows.push((kind.name().into(), t));
         }
 
         // avx512 with intra-kernel threading (the paper's full variant).
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if threads > 1 {
             let mut iter = xs.chunks_exact(59).cycle();
             let t = time_avg(reps.min(200), || {
-                vector::interpolate_avx512_mt(&case.compressed, iter.next().unwrap(), threads, &mut out);
+                vector::interpolate_avx512_mt(
+                    &case.compressed,
+                    iter.next().unwrap(),
+                    threads,
+                    &mut out,
+                );
             });
             rows.push((format!("avx512 ({threads}t)"), t));
         }
@@ -68,12 +82,18 @@ fn main() {
         let mut modeled = 0.0;
         let mut iter = xs.chunks_exact(59).cycle();
         let sim_time = time_avg(reps.min(200), || {
-            modeled = cuda.interpolate(iter.next().unwrap(), &mut out).modeled_seconds;
+            modeled = cuda
+                .interpolate(iter.next().unwrap(), &mut out)
+                .modeled_seconds;
         });
         rows.push(("cuda (host-sim)".into(), sim_time));
         rows.push(("cuda (P100 model)".into(), modeled));
 
-        println!("\n  \"{name}\" test ({} points, {} xps/state):", case.grid.len(), case.compressed.grid.xps().len());
+        println!(
+            "\n  \"{name}\" test ({} points, {} xps/state):",
+            case.grid.len(),
+            case.compressed.grid.xps().len()
+        );
         println!("  {:<18} {:>12} {:>10}", "version", "time [sec]", "vs gold");
         for (kernel, t) in &rows {
             println!("  {:<18} {:>12.6} {:>9.2}x", kernel, t, gold_time / t);

@@ -103,8 +103,10 @@ mod tests {
     #[test]
     fn conserves_total_ranks() {
         for ranks in [16usize, 17, 100, 4096] {
-            let m = vec![7081, 6962, 7100, 6900, 7000, 7050, 6950, 7020,
-                         7081, 6962, 7100, 6900, 7000, 7050, 6950, 7020];
+            let m = vec![
+                7081, 6962, 7100, 6900, 7000, 7050, 6950, 7020, 7081, 6962, 7100, 6900, 7000, 7050,
+                6950, 7020,
+            ];
             let counts = proportional_ranks(&m, ranks);
             assert_eq!(counts.iter().sum::<usize>(), ranks, "ranks={ranks}");
             assert!(counts.iter().all(|&c| c >= 1));
@@ -152,7 +154,7 @@ mod tests {
         assert_eq!(loads.iter().sum::<usize>(), 650);
         assert!((loads[0] as i64 - loads[1] as i64).unsigned_abs() <= 100);
         // Every state appears exactly once.
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for z in plan.iter().flatten() {
             assert!(!seen[*z]);
             seen[*z] = true;

@@ -182,10 +182,14 @@ pub fn straggler_costs(n: usize, mean_seconds: f64, cv: f64, seed: u64) -> Vec<f
         state ^= state << 13;
         state ^= state >> 7;
         state ^= state << 17;
-        let u = (state >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
-        // Two-point mixture: most points cheap, a tail ~4× (hard Newton
-        // solves); matches the observed per-point time spread.
-        let factor = if u < 0.9 { 1.0 - cv * 0.5 } else { 1.0 + cv * 4.5 };
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        // Uniform u in [0,1); two-point mixture: most points cheap, a tail
+        // ~4× (hard Newton solves); matches the observed per-point spread.
+        let factor = if u < 0.9 {
+            1.0 - cv * 0.5
+        } else {
+            1.0 + cv * 4.5
+        };
         out.push(mean_seconds * factor);
     }
     out
@@ -209,7 +213,11 @@ mod tests {
             Assignment::WorkStealing { chunk: 1 },
         ] {
             let r = schedule(&workers, &costs, policy);
-            assert!((r.makespan - 50.0).abs() < 1.01, "{policy:?}: {}", r.makespan);
+            assert!(
+                (r.makespan - 50.0).abs() < 1.01,
+                "{policy:?}: {}",
+                r.makespan
+            );
             assert_eq!(r.tasks.iter().sum::<usize>(), 100);
         }
     }
@@ -229,7 +237,12 @@ mod tests {
         let prop = schedule(&workers, &costs, Assignment::StaticProportional);
         let steal = schedule(&workers, &costs, Assignment::WorkStealing { chunk: 4 });
         let bound = fluid_bound(&workers, &costs);
-        assert!(equal.makespan > 1.9 * prop.makespan, "{} vs {}", equal.makespan, prop.makespan);
+        assert!(
+            equal.makespan > 1.9 * prop.makespan,
+            "{} vs {}",
+            equal.makespan,
+            prop.makespan
+        );
         assert!(steal.makespan <= prop.makespan * 1.05);
         assert!(steal.makespan >= bound * 0.999);
         // Stealing gives the fast workers ~4x the tasks without being told
@@ -251,7 +264,11 @@ mod tests {
         let bound = fluid_bound(&workers, &costs);
         // Dynamic scheduling lands within 2% of the fluid bound; the static
         // split pays whatever imbalance the straggler tail dealt it.
-        assert!(steal.makespan <= bound * 1.02, "{} vs bound {bound}", steal.makespan);
+        assert!(
+            steal.makespan <= bound * 1.02,
+            "{} vs bound {bound}",
+            steal.makespan
+        );
         assert!(equal.makespan >= steal.makespan);
     }
 
@@ -286,7 +303,11 @@ mod tests {
             Assignment::WorkStealing { chunk: 64 },
         ] {
             let r = schedule(&workers, &costs, policy);
-            assert!(r.makespan >= bound * 0.999, "{policy:?}: {} < {bound}", r.makespan);
+            assert!(
+                r.makespan >= bound * 0.999,
+                "{policy:?}: {} < {bound}",
+                r.makespan
+            );
         }
     }
 

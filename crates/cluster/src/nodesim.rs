@@ -127,8 +127,8 @@ mod tests {
 
     #[test]
     fn quantization_penalizes_small_workloads() {
-        let v = &fig7_variants()[1]; // 12 threads
         // 6 points on 12 threads wastes half the node.
+        let v = &fig7_variants()[1]; // 12 threads
         let t6 = v.wall_time(6, 1.0);
         let t12 = v.wall_time(12, 1.0);
         assert_eq!(t6, t12);

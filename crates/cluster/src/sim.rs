@@ -189,9 +189,15 @@ mod tests {
         // The Fig. 8 test case: restart from level 2 (119 points/state),
         // then level 3 adds 6,962 and level 4 adds 273,996 per state.
         vec![
-            LevelWork { points_per_state: vec![119; 16] },
-            LevelWork { points_per_state: vec![6_962; 16] },
-            LevelWork { points_per_state: vec![273_996; 16] },
+            LevelWork {
+                points_per_state: vec![119; 16],
+            },
+            LevelWork {
+                points_per_state: vec![6_962; 16],
+            },
+            LevelWork {
+                points_per_state: vec![273_996; 16],
+            },
         ]
     }
 
@@ -202,9 +208,7 @@ mod tests {
         // 16·281,077 points over 12 threads with the node speedup.
         let expected_compute: f64 = [119usize, 6_962, 273_996]
             .iter()
-            .map(|&points| {
-                (16.0 * (points as f64 / 12.0).ceil()) * 0.05 / model.node_speedup
-            })
+            .map(|&points| (16.0 * (points as f64 / 12.0).ceil()) * 0.05 / model.node_speedup)
             .sum();
         assert!(
             timing.total >= expected_compute,
@@ -219,11 +223,8 @@ mod tests {
     #[test]
     fn more_nodes_is_never_slower_up_to_saturation() {
         let model = ClusterModel::piz_daint(0.05);
-        let sweep = strong_scaling_sweep(
-            &model,
-            &paper_workload(),
-            &[1, 4, 16, 64, 256, 1024, 4096],
-        );
+        let sweep =
+            strong_scaling_sweep(&model, &paper_workload(), &[1, 4, 16, 64, 256, 1024, 4096]);
         for pair in sweep.windows(2) {
             assert!(
                 pair[1].1.total < pair[0].1.total,

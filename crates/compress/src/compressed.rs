@@ -63,15 +63,14 @@ impl CompressedGrid {
         for (p, row) in xi.rows.iter().enumerate() {
             if row.is_empty() {
                 order.push(p as u32);
-                chains.extend(std::iter::repeat(0).take(nfreq));
+                chains.extend(std::iter::repeat_n(0, nfreq));
             }
         }
         debug_assert_eq!(order.len(), grid.len());
         debug_assert_eq!(chains.len(), grid.len() * nfreq);
 
         let xps = unique.xps;
-        let compressed_bytes =
-            xps.len() * std::mem::size_of::<XpsEntry>() + chains.len() * 4;
+        let compressed_bytes = xps.len() * std::mem::size_of::<XpsEntry>() + chains.len() * 4;
         let dense_bytes = grid.len() * grid.dim() * 2 * std::mem::size_of::<u16>();
         CompressedGrid {
             dim: grid.dim(),
@@ -196,8 +195,7 @@ impl CompressedGrid {
         let mut dst = vec![0.0; src.len()];
         for (new_pos, &orig) in self.order.iter().enumerate() {
             let from = orig as usize * ndofs;
-            dst[new_pos * ndofs..(new_pos + 1) * ndofs]
-                .copy_from_slice(&src[from..from + ndofs]);
+            dst[new_pos * ndofs..(new_pos + 1) * ndofs].copy_from_slice(&src[from..from + ndofs]);
         }
         dst
     }
@@ -375,12 +373,22 @@ mod tests {
         use hddm_asg::ActiveCoord;
         let mut grid = SparseGrid::new(3);
         grid.insert_closed(NodeKey::from_coords([
-            ActiveCoord { dim: 0, level: 4, index: 3 },
-            ActiveCoord { dim: 2, level: 3, index: 1 },
+            ActiveCoord {
+                dim: 0,
+                level: 4,
+                index: 3,
+            },
+            ActiveCoord {
+                dim: 2,
+                level: 3,
+                index: 1,
+            },
         ]));
-        grid.insert_closed(NodeKey::from_coords([
-            ActiveCoord { dim: 1, level: 5, index: 9 },
-        ]));
+        grid.insert_closed(NodeKey::from_coords([ActiveCoord {
+            dim: 1,
+            level: 5,
+            index: 9,
+        }]));
         check_equivalence(&grid, 2, &lattice_points(3, 40));
     }
 
@@ -526,8 +534,12 @@ mod tests {
         let grid = regular_grid(59, 3);
         let cg = CompressedGrid::build(&grid);
         let stats = cg.stats();
-        assert!(stats.compressed_bytes * 5 < stats.dense_bytes,
-            "compressed {} vs dense {}", stats.compressed_bytes, stats.dense_bytes);
+        assert!(
+            stats.compressed_bytes * 5 < stats.dense_bytes,
+            "compressed {} vs dense {}",
+            stats.compressed_bytes,
+            stats.dense_bytes
+        );
         assert!(stats.zero_fraction > 0.96);
     }
 

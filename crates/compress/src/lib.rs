@@ -37,6 +37,6 @@ pub mod pipeline;
 
 pub use compressed::{CompressedGrid, CompressionStats};
 pub use pipeline::{
-    build_chains, decompose, renumber, transition, unique_elements, Renumbering,
-    UniqueElements, XiElement, XiFreq, XiSparse, XpsEntry,
+    build_chains, decompose, renumber, transition, unique_elements, Renumbering, UniqueElements,
+    XiElement, XiFreq, XiSparse, XpsEntry,
 };

@@ -126,11 +126,7 @@ impl XiFreq {
     /// order that defines the per-frequency renumbering.
     pub fn traverse(&self) -> impl Iterator<Item = &XiElement> + '_ {
         let nrows = self.nrows();
-        (0..nrows).flat_map(move |r| {
-            self.columns
-                .iter()
-                .filter_map(move |col| col.get(r))
-        })
+        (0..nrows).flat_map(move |r| self.columns.iter().filter_map(move |col| col.get(r)))
     }
 }
 
@@ -206,7 +202,11 @@ pub struct XpsEntry {
 
 impl XpsEntry {
     /// The sentinel occupying `xps[0]`; `LinearBasis` evaluates it to 1.
-    pub const SENTINEL: XpsEntry = XpsEntry { index: 0, l: 0, i: 0 };
+    pub const SENTINEL: XpsEntry = XpsEntry {
+        index: 0,
+        l: 0,
+        i: 0,
+    };
 }
 
 /// The deduplicated element array plus per-frequency lookup vectors

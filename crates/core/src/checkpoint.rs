@@ -77,12 +77,7 @@ impl Checkpoint {
             .map(|z| {
                 let s = ti.policy.states.state(z);
                 StateRecord {
-                    xps: s
-                        .grid
-                        .xps()
-                        .iter()
-                        .map(|e| (e.index, e.l, e.i))
-                        .collect(),
+                    xps: s.grid.xps().iter().map(|e| (e.index, e.l, e.i)).collect(),
                     chains: s.grid.chains().to_vec(),
                     order: s.grid.order().to_vec(),
                     nfreq: s.grid.nfreq(),
@@ -185,7 +180,10 @@ mod tests {
             start_level: 2,
             max_steps,
             tolerance: 0.0,
-            pool: PoolConfig { threads: 1, grain: 4 },
+            pool: PoolConfig {
+                threads: 1,
+                grain: 4,
+            },
             ..Default::default()
         }
     }
@@ -233,7 +231,7 @@ mod tests {
 
         let mut first = TimeIteration::new(OlgStep::new(make_model()), config(2));
         first.run();
-        let dir = std::env::temp_dir().join("hddm_checkpoint_test");
+        let dir = std::env::temp_dir().join(format!("hddm_checkpoint_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ck.json");
         Checkpoint::capture(&first).save(&path).unwrap();
@@ -254,7 +252,7 @@ mod tests {
         let ti = TimeIteration::new(OlgStep::new(model), config(0));
         let mut ck = Checkpoint::capture(&ti);
         ck.version = 99;
-        let dir = std::env::temp_dir().join("hddm_checkpoint_test");
+        let dir = std::env::temp_dir().join(format!("hddm_checkpoint_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad_version.json");
         // Write the bad version manually (save would stamp the right one

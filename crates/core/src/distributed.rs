@@ -69,12 +69,26 @@ pub fn distributed_step<M: StepModel, C: Comm>(
             acc += s;
         }
         let group = world.split(color);
-        built[color] = Some(build_state(model, policy, config, color, Some(&group), &mut metrics));
+        built[color] = Some(build_state(
+            model,
+            policy,
+            config,
+            color,
+            Some(&group),
+            &mut metrics,
+        ));
     } else {
         // Fewer ranks than states: each rank serves its states in turn.
         let plan = multiplex_states(&m, world.size());
         for &z in &plan[world.rank()] {
-            built[z] = Some(build_state(model, policy, config, z, None::<&C>, &mut metrics));
+            built[z] = Some(build_state(
+                model,
+                policy,
+                config,
+                z,
+                None::<&C>,
+                &mut metrics,
+            ));
         }
     }
 
@@ -106,7 +120,11 @@ pub fn distributed_step<M: StepModel, C: Comm>(
     // --- Reductions for the report.
     let mut maxbuf = [metrics.sup];
     world.allreduce_max(&mut maxbuf);
-    let mut sumbuf = [metrics.sum_sq, metrics.count as f64, metrics.failures as f64];
+    let mut sumbuf = [
+        metrics.sum_sq,
+        metrics.count as f64,
+        metrics.failures as f64,
+    ];
     world.allreduce_sum(&mut sumbuf);
 
     // --- Assemble the new policy (identical on every rank).
@@ -436,7 +454,9 @@ mod tests {
             )
         });
         let (points0, probe0) = &results[0];
-        assert!(points0.iter().any(|&p| p > hddm_asg::regular_grid_size(3, 2) as usize));
+        assert!(points0
+            .iter()
+            .any(|&p| p > hddm_asg::regular_grid_size(3, 2) as usize));
         for (points, probed) in &results[1..] {
             assert_eq!(points, points0);
             assert_eq!(probed, probe0);

@@ -7,9 +7,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use hddm_asg::{
-    refine_frontier, regular_grid, BoxDomain, RefineConfig, SparseGrid, SurplusNorm,
-};
+use hddm_asg::{refine_frontier, regular_grid, BoxDomain, RefineConfig, SparseGrid, SurplusNorm};
 use hddm_compress::CompressedGrid;
 use hddm_kernels::{CompressedState, KernelKind};
 use hddm_olg::PolicyOracle;
@@ -160,7 +158,11 @@ impl<M: StepModel> TimeIteration<M> {
     /// path): no initial-guess construction, the supplied policy *is* the
     /// current `pnext` and `step` continues the original counter.
     pub fn with_policy(model: M, config: DriverConfig, policy: PolicySet, step: usize) -> Self {
-        assert_eq!(policy.domain.dim(), model.dim(), "policy/model dim mismatch");
+        assert_eq!(
+            policy.domain.dim(),
+            model.dim(),
+            "policy/model dim mismatch"
+        );
         assert_eq!(
             policy.states.num_states(),
             model.num_states(),
@@ -365,7 +367,6 @@ impl<M: StepModel> TimeIteration<M> {
         }
         (sup, sum_sq, count)
     }
-
 }
 
 /// Surpluses of the frontier rows relative to the current partial

@@ -54,9 +54,9 @@ impl StepModel for OlgStep {
         oracle: &mut dyn PolicyOracle,
     ) -> Result<Vec<f64>, SolverError> {
         let mut scratch = PointScratch::default();
-        let solution = self
-            .model
-            .solve_point(z, x_phys, warm, oracle, &mut scratch, &self.newton)?;
+        let solution =
+            self.model
+                .solve_point(z, x_phys, warm, oracle, &mut scratch, &self.newton)?;
         Ok(solution.dof_row())
     }
 }
@@ -128,10 +128,7 @@ mod tests {
         // a factor over 4-step windows rather than strict monotonicity.
         let changes: Vec<f64> = reports.iter().map(|r| r.sup_change).collect();
         for window in changes.windows(5).take(4) {
-            assert!(
-                window[4] < window[0],
-                "no decay across window: {window:?}"
-            );
+            assert!(window[4] < window[0], "no decay across window: {window:?}");
         }
     }
 

@@ -95,8 +95,14 @@ fn run(max_steps: usize) -> (TimeIteration<FlakyModel>, Vec<hddm_core::StepRepor
 fn failures_are_counted_and_do_not_abort_the_step() {
     let (ti, reports) = run(3);
     let report = reports.last().unwrap();
-    assert!(ti.model.warm_failures.load(Ordering::Relaxed) > 0, "no warm failures injected");
-    assert!(ti.model.hard_failures.load(Ordering::Relaxed) > 0, "no hard failures injected");
+    assert!(
+        ti.model.warm_failures.load(Ordering::Relaxed) > 0,
+        "no warm failures injected"
+    );
+    assert!(
+        ti.model.hard_failures.load(Ordering::Relaxed) > 0,
+        "no hard failures injected"
+    );
     assert!(
         report.solver_failures > 0,
         "driver did not record the injected failures"
@@ -141,8 +147,5 @@ fn failure_free_region_converges_to_fixed_point() {
     let mut oracle = ti.policy.oracle(KernelKind::X86);
     let mut row = vec![0.0; 2];
     oracle.eval(0, &[0.5, 0.5], &mut row);
-    assert!(
-        (row[0] - 1.0).abs() < 1e-6,
-        "fixed point missed: {row:?}"
-    );
+    assert!((row[0] - 1.0).abs() < 1e-6, "fixed point missed: {row:?}");
 }

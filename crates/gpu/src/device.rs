@@ -69,8 +69,8 @@ impl Device {
     pub fn max_concurrent_blocks_for(&self, block_size: usize) -> usize {
         let per_sm = (self.reg_limited_threads_per_sm / block_size.max(1))
             .min(self.max_threads_per_sm / block_size.max(1))
-            .min(32) // hardware blocks-per-SM ceiling
-            .max(1);
+            // hardware blocks-per-SM ceiling, floor of one block
+            .clamp(1, 32);
         self.sm_count * per_sm
     }
 }

@@ -208,8 +208,7 @@ impl<'a> CudaInterpolator<'a> {
         // size far from ndofs wastes throughput (the paper's reason for
         // picking 128 for ndofs = 118).
         let dof_issue_slots = ndofs.div_ceil(bs) * bs;
-        let flops =
-            (xps.len() * 3 + nno * nfreq + active_points * dof_issue_slots * 2) as f64;
+        let flops = (xps.len() * 3 + nno * nfreq + active_points * dof_issue_slots * 2) as f64;
         let kernel_time = (flops / d.fp64_flops).max(dram_bytes / d.mem_bandwidth);
         let transfer_bytes = ((x.len() + ndofs) * 8) as f64;
         let transfer = transfer_bytes / d.pcie_bandwidth;
@@ -354,9 +353,18 @@ mod tests {
         let s = state(4, 4, 118);
         let reference = CudaInterpolator::new(Device::p100(), &s).unwrap();
         let variants = [
-            LaunchOptions { block_size: 32, stage_xpv_shared: true },
-            LaunchOptions { block_size: 512, stage_xpv_shared: true },
-            LaunchOptions { block_size: 128, stage_xpv_shared: false },
+            LaunchOptions {
+                block_size: 32,
+                stage_xpv_shared: true,
+            },
+            LaunchOptions {
+                block_size: 512,
+                stage_xpv_shared: true,
+            },
+            LaunchOptions {
+                block_size: 128,
+                stage_xpv_shared: false,
+            },
         ];
         let x = [0.31, 0.84, 0.12, 0.57];
         let mut want = vec![0.0; 118];
@@ -385,7 +393,10 @@ mod tests {
         let global = CudaInterpolator::with_options(
             Device::p100(),
             &s,
-            LaunchOptions { block_size: 128, stage_xpv_shared: false },
+            LaunchOptions {
+                block_size: 128,
+                stage_xpv_shared: false,
+            },
         )
         .unwrap();
         let x = [0.31, 0.84, 0.12, 0.57];
@@ -411,7 +422,10 @@ mod tests {
             let gpu = CudaInterpolator::with_options(
                 Device::p100(),
                 &s,
-                LaunchOptions { block_size: bs, stage_xpv_shared: true },
+                LaunchOptions {
+                    block_size: bs,
+                    stage_xpv_shared: true,
+                },
             )
             .unwrap();
             gpu.interpolate(&x, &mut out)
@@ -433,7 +447,10 @@ mod tests {
         let r = CudaInterpolator::with_options(
             Device::p100(),
             &s,
-            LaunchOptions { block_size: 0, stage_xpv_shared: true },
+            LaunchOptions {
+                block_size: 0,
+                stage_xpv_shared: true,
+            },
         );
         assert!(matches!(r, Err(GpuError::BlockTooLarge { .. })));
     }

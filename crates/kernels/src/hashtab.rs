@@ -111,9 +111,11 @@ pub fn interpolate(state: &HashState, x: &[f64], out: &mut [f64]) {
                 None => continue 'levels,
             }
         }
-        let key = NodeKey::from_coords(coords.iter().map(|&(dim, level, index)| {
-            hddm_asg::ActiveCoord { dim, level, index }
-        }));
+        let key = NodeKey::from_coords(
+            coords
+                .iter()
+                .map(|&(dim, level, index)| hddm_asg::ActiveCoord { dim, level, index }),
+        );
         if let Some(&row) = state.table.get(&key) {
             let r = row as usize * ndofs;
             for (o, s) in out.iter_mut().zip(&state.surplus[r..r + ndofs]) {
@@ -176,12 +178,28 @@ mod tests {
     fn matches_gold_on_adaptive_grid() {
         let mut grid = SparseGrid::new(4);
         grid.insert_closed(NodeKey::from_coords([
-            ActiveCoord { dim: 0, level: 5, index: 7 },
-            ActiveCoord { dim: 3, level: 3, index: 1 },
+            ActiveCoord {
+                dim: 0,
+                level: 5,
+                index: 7,
+            },
+            ActiveCoord {
+                dim: 3,
+                level: 3,
+                index: 1,
+            },
         ]));
         grid.insert_closed(NodeKey::from_coords([
-            ActiveCoord { dim: 1, level: 4, index: 5 },
-            ActiveCoord { dim: 2, level: 2, index: 2 },
+            ActiveCoord {
+                dim: 1,
+                level: 4,
+                index: 5,
+            },
+            ActiveCoord {
+                dim: 2,
+                level: 2,
+                index: 2,
+            },
         ]));
         check_against_gold(&grid, 2);
     }

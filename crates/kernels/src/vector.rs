@@ -156,7 +156,7 @@ fn select_axpy(isa: VectorIsa) -> Axpy {
 /// The `avx` kernel: 4-wide multiply + add.
 pub fn interpolate_avx(state: &CompressedState, x: &[f64], scratch: &mut Scratch, out: &mut [f64]) {
     let axpy = select_axpy(VectorIsa::Avx);
-    skeleton(state, x, scratch, out, |a, row, acc| axpy(a, row, acc));
+    skeleton(state, x, scratch, out, axpy);
 }
 
 /// The `avx2` kernel: 4-wide FMA.
@@ -167,7 +167,7 @@ pub fn interpolate_avx2(
     out: &mut [f64],
 ) {
     let axpy = select_axpy(VectorIsa::Avx2);
-    skeleton(state, x, scratch, out, |a, row, acc| axpy(a, row, acc));
+    skeleton(state, x, scratch, out, axpy);
 }
 
 /// The `avx512` kernel (single-threaded core): 8-wide FMA on zmm registers.
@@ -178,19 +178,14 @@ pub fn interpolate_avx512(
     out: &mut [f64],
 ) {
     let axpy = select_axpy(VectorIsa::Avx512);
-    skeleton(state, x, scratch, out, |a, row, acc| axpy(a, row, acc));
+    skeleton(state, x, scratch, out, axpy);
 }
 
 /// The full `avx512` kernel of Sec. V-A: the point loop is split across
 /// `threads` workers, each producing a partial vector sum with 512-bit FMA;
 /// partials that received no contribution are skipped in the reduction
 /// ("handled specially to initiate no actual memory flow").
-pub fn interpolate_avx512_mt(
-    state: &CompressedState,
-    x: &[f64],
-    threads: usize,
-    out: &mut [f64],
-) {
+pub fn interpolate_avx512_mt(state: &CompressedState, x: &[f64], threads: usize, out: &mut [f64]) {
     let cg = &state.grid;
     let ndofs = state.ndofs;
     assert_eq!(x.len(), cg.dim());

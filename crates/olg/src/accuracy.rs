@@ -85,7 +85,11 @@ pub fn euler_errors_at(
             for (e, &r) in out.iter_mut().zip(&residuals) {
                 // r = 1 − βE/u'(c) ⇒ c_implied/c = (1 − r)^(−1/γ).
                 let ratio = (1.0 - r).max(0.0).powf(inv_gamma);
-                *e = if ratio.is_finite() { (ratio - 1.0).abs() } else { 1.0 };
+                *e = if ratio.is_finite() {
+                    (ratio - 1.0).abs()
+                } else {
+                    1.0
+                };
             }
         }
         Err(_) => out.fill(1.0),

@@ -138,12 +138,7 @@ impl Calibration {
         let taxes = MarkovChain::persistent(4, 0.95);
         let chain = productivity.product(&taxes);
         let zeta = [0.97, 0.99, 1.01, 1.03];
-        let tax_regimes = [
-            (0.26, 0.16),
-            (0.30, 0.20),
-            (0.34, 0.24),
-            (0.30, 0.28),
-        ];
+        let tax_regimes = [(0.26, 0.16), (0.30, 0.20), (0.34, 0.24), (0.30, 0.28)];
         let mut regimes = Vec::with_capacity(16);
         for z_prod in 0..4 {
             for z_tax in 0..4 {
@@ -173,7 +168,12 @@ impl Calibration {
     /// A small stochastic economy for tests and examples: `lifespan`
     /// generations, `num_states` equiprobable persistent states with
     /// productivity spread `±spread` around 1 and a common tax pair.
-    pub fn small(lifespan: usize, work_years: usize, num_states: usize, spread: f64) -> Calibration {
+    pub fn small(
+        lifespan: usize,
+        work_years: usize,
+        num_states: usize,
+        spread: f64,
+    ) -> Calibration {
         let chain = MarkovChain::persistent(num_states, 0.8);
         let regimes = (0..num_states)
             .map(|z| {

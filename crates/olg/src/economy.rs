@@ -32,8 +32,7 @@ pub fn prices(cal: &Calibration, z: usize, capital: f64) -> Prices {
     let wage = (1.0 - theta) * output / labor;
     let interest = theta * output / capital - cal.depreciation;
     let gross_return = 1.0 + interest * (1.0 - regime.capital_tax);
-    let revenue =
-        regime.labor_tax * wage * labor + regime.capital_tax * interest * capital;
+    let revenue = regime.labor_tax * wage * labor + regime.capital_tax * interest * capital;
     let pension = revenue / cal.retirees() as f64;
     Prices {
         wage,

@@ -111,11 +111,7 @@ impl MarkovChain {
                     next[z2] += pz * p;
                 }
             }
-            let delta: f64 = dist
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = dist.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut dist, &mut next);
             if delta < 1e-14 {
                 break;

@@ -235,9 +235,8 @@ impl OlgModel {
                 } else {
                     0.0 // the oldest generation saves nothing
                 };
-                let c_tomorrow = pn.gross_return * savings[a - 1]
-                    + income(cal, z_next, pn, a + 1)
-                    - s_next;
+                let c_tomorrow =
+                    pn.gross_return * savings[a - 1] + income(cal, z_next, pn, a + 1) - s_next;
                 expectation += pi * pn.gross_return * marginal_utility(cal.gamma, c_tomorrow);
             }
             out[a - 1] = 1.0 - cal.beta * expectation / marginal_utility(cal.gamma, c_today);
@@ -273,7 +272,9 @@ impl OlgModel {
                 &scratch.x_next,
                 &mut scratch.policy_next[z_next * ndofs..(z_next + 1) * ndofs],
             );
-            scratch.prices_next.push(prices(cal, z_next, k_next.max(1e-9)));
+            scratch
+                .prices_next
+                .push(prices(cal, z_next, k_next.max(1e-9)));
         }
 
         let mut consumption = Vec::with_capacity(a_max);
@@ -415,7 +416,14 @@ mod tests {
             *g *= 1.0 + 0.05 * ((k as f64).sin());
         }
         let solution = model
-            .solve_point(0, &x, &guess, &mut oracle, &mut scratch, &NewtonOptions::default())
+            .solve_point(
+                0,
+                &x,
+                &guess,
+                &mut oracle,
+                &mut scratch,
+                &NewtonOptions::default(),
+            )
             .unwrap();
         for (a, s) in solution.savings.iter().enumerate() {
             assert!(
@@ -501,7 +509,14 @@ mod tests {
         let guess = model.steady.dof_row();
         for z in 0..2 {
             let solution = model
-                .solve_point(z, &x, &guess, &mut oracle, &mut scratch, &NewtonOptions::default())
+                .solve_point(
+                    z,
+                    &x,
+                    &guess,
+                    &mut oracle,
+                    &mut scratch,
+                    &NewtonOptions::default(),
+                )
                 .expect("point solve");
             assert!(solution.report.residual_norm < 1e-9);
             assert!(solution.consumption.iter().all(|&c| c > 0.0));

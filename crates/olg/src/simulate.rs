@@ -159,8 +159,22 @@ mod tests {
     fn statistics_helpers() {
         let sim = Simulation {
             path: vec![
-                SimPeriod { shock: 0, capital: 1.0, output: 2.0, interest: 0.0, wage: 0.0, consumption: 0.0 },
-                SimPeriod { shock: 0, capital: 3.0, output: 4.0, interest: 0.0, wage: 0.0, consumption: 0.0 },
+                SimPeriod {
+                    shock: 0,
+                    capital: 1.0,
+                    output: 2.0,
+                    interest: 0.0,
+                    wage: 0.0,
+                    consumption: 0.0,
+                },
+                SimPeriod {
+                    shock: 0,
+                    capital: 3.0,
+                    output: 4.0,
+                    interest: 0.0,
+                    wage: 0.0,
+                    consumption: 0.0,
+                },
             ],
         };
         assert_eq!(sim.mean(|p| p.capital), 2.0);

@@ -120,7 +120,8 @@ pub fn solve_steady_state(cal: &Calibration) -> SteadyState {
     let labor = reference.aggregate_labor();
     let theta = reference.capital_share;
     let zeta = reference.regimes[0].productivity;
-    let k_of_r = |r: f64| labor * ((r + reference.depreciation) / (theta * zeta)).powf(1.0 / (theta - 1.0));
+    let k_of_r =
+        |r: f64| labor * ((r + reference.depreciation) / (theta * zeta)).powf(1.0 / (theta - 1.0));
 
     // Sweep r downward; the excess is positive at high r (strong saving
     // motive) and negative at low r, with the equilibrium in between. The
@@ -128,9 +129,8 @@ pub fn solve_steady_state(cal: &Calibration) -> SteadyState {
     // numerically tame): short lifespans tolerate high rates, the A = 60
     // economy does not.
     let tax = reference.regimes[0].capital_tax;
-    let r_ceiling = ((1e6f64.powf(1.0 / (reference.lifespan as f64 - 1.0)) - 1.0)
-        / (1.0 - tax))
-        .min(2.0);
+    let r_ceiling =
+        ((1e6f64.powf(1.0 / (reference.lifespan as f64 - 1.0)) - 1.0) / (1.0 - tax)).min(2.0);
     let r_floor = 5e-4;
     let steps = 48;
     let ratio = (r_ceiling / r_floor).powf(1.0 / steps as f64);
@@ -283,10 +283,7 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!(
-            (35..=55).contains(&peak),
-            "asset peak at model age {peak}"
-        );
+        assert!((35..=55).contains(&peak), "asset peak at model age {peak}");
         assert!(
             *ss.assets.last().unwrap() < 0.5 * ss.assets[peak],
             "assets must be drawn down in very old age"

@@ -99,7 +99,10 @@ pub fn newborn_welfare<R: Rng>(
 /// CRRA closed forms: `(1+λ)^{1−γ}·P_base = P_alt` for `γ ≠ 1`, and
 /// `λ = exp((W_alt − W_base)/Σβ^{a−1}) − 1` for log utility.
 pub fn consumption_equivalent(base: &WelfareReport, alternative: &WelfareReport) -> f64 {
-    assert_eq!(base.gamma, alternative.gamma, "CEV across different preferences");
+    assert_eq!(
+        base.gamma, alternative.gamma,
+        "CEV across different preferences"
+    );
     let gamma = base.gamma;
     if (gamma - 1.0).abs() < 1e-12 {
         ((alternative.mean_value - base.mean_value) / base.discount_mass).exp() - 1.0

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use hddm_olg::{
-    income, prices, Calibration, MarkovChain, OlgModel, PointScratch, PolicyOracle,
-};
+use hddm_olg::{income, prices, Calibration, MarkovChain, OlgModel, PointScratch, PolicyOracle};
 
 struct ConstOracle(Vec<f64>);
 impl PolicyOracle for ConstOracle {
@@ -15,7 +13,9 @@ impl PolicyOracle for ConstOracle {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Cases and RNG seed are pinned so CI explores the identical state
+    // population every run — a failure here reproduces locally verbatim.
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0x0190_0003))]
 
     /// Household budget aggregation: at ANY state and ANY feasible savings
     /// vector, Σ c_a + K' = R̃·K + wL·(1−τl) + pensions + …, which

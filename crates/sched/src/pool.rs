@@ -114,10 +114,10 @@ where
         for i in 0..n {
             task(&mut state, i);
         }
-        let mut stats = LoadStats::default();
-        stats.items_per_worker = vec![n];
-        stats.steals_per_worker = vec![0];
-        return stats;
+        return LoadStats {
+            items_per_worker: vec![n],
+            steals_per_worker: vec![0],
+        };
     }
 
     let injector = Injector::new();

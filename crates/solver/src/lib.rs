@@ -66,9 +66,15 @@ impl std::fmt::Display for SolverError {
                 write!(f, "singular Jacobian at pivot column {column}")
             }
             SolverError::MaxIterations { residual } => {
-                write!(f, "Newton exceeded max iterations (residual {residual:.3e})")
+                write!(
+                    f,
+                    "Newton exceeded max iterations (residual {residual:.3e})"
+                )
             }
-            SolverError::LineSearchStalled { iteration, residual } => write!(
+            SolverError::LineSearchStalled {
+                iteration,
+                residual,
+            } => write!(
                 f,
                 "line search stalled at iteration {iteration} (residual {residual:.3e})"
             ),

@@ -61,12 +61,7 @@ impl DenseMatrix {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         for (i, yi) in y.iter_mut().enumerate() {
-            *yi = self
-                .row(i)
-                .iter()
-                .zip(x)
-                .map(|(a, b)| a * b)
-                .sum();
+            *yi = self.row(i).iter().zip(x).map(|(a, b)| a * b).sum();
         }
     }
 

@@ -120,7 +120,8 @@ where
                 Ok(()) => {
                     report.residual_evals += 1;
                     let merit = 0.5 * norm2(&f_trial).powi(2);
-                    if merit <= merit0 * (1.0 - 2.0 * opts.armijo_c * alpha) || merit < merit0 * 1e-8
+                    if merit <= merit0 * (1.0 - 2.0 * opts.armijo_c * alpha)
+                        || merit < merit0 * 1e-8
                     {
                         accepted = true;
                         break;
@@ -155,11 +156,7 @@ where
         jac.matvec(&dx, &mut b_dx);
         let dx_dot = dx.iter().map(|v| v * v).sum::<f64>();
         if dx_dot > 0.0 {
-            let resid: Vec<f64> = delta_f
-                .iter()
-                .zip(&b_dx)
-                .map(|(df, b)| df - b)
-                .collect();
+            let resid: Vec<f64> = delta_f.iter().zip(&b_dx).map(|(df, b)| df - b).collect();
             jac.rank1_update(1.0 / dx_dot, &resid, &dx);
             // Refactor the updated approximation (cheap at these sizes).
             if since_refresh + 1 < opts.broyden_refresh {
@@ -342,7 +339,8 @@ mod tests {
         )
         .unwrap_err();
         match err {
-            SolverError::MaxIterations { residual } | SolverError::LineSearchStalled { residual, .. } => {
+            SolverError::MaxIterations { residual }
+            | SolverError::LineSearchStalled { residual, .. } => {
                 assert!(residual >= 0.5)
             }
             other => panic!("unexpected error {other:?}"),
@@ -373,10 +371,7 @@ mod tests {
         };
         let full = count_jacobians(1);
         let broyden = count_jacobians(8);
-        assert!(
-            broyden < full,
-            "broyden {broyden} jacobians vs full {full}"
-        );
+        assert!(broyden < full, "broyden {broyden} jacobians vs full {full}");
     }
 
     #[test]

@@ -5,7 +5,13 @@ use crate::SolverError;
 
 /// Finds a root of `f` in `[a, b]` with Brent's method. Requires a sign
 /// change on the bracket.
-pub fn brent<F>(mut f: F, mut a: f64, mut b: f64, tol: f64, max_iter: usize) -> Result<f64, SolverError>
+pub fn brent<F>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, SolverError>
 where
     F: FnMut(f64) -> f64,
 {
@@ -46,9 +52,9 @@ where
         let lo = (3.0 * a + b) / 4.0;
         let cond = !((lo.min(b) < s && s < lo.max(b))
             && !(mflag && (s - b).abs() >= (b - c).abs() / 2.0)
-            && !(!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            && (mflag || (s - b).abs() < (c - d).abs() / 2.0)
             && !(mflag && (b - c).abs() < tol)
-            && !(!mflag && (c - d).abs() < tol));
+            && (mflag || (c - d).abs() >= tol));
         if cond {
             s = (a + b) / 2.0;
             mflag = true;

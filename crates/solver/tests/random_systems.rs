@@ -26,7 +26,9 @@ fn diag_dominant(n: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Cases and RNG seed are pinned so CI explores the identical system
+    // population every run — a failure here reproduces locally verbatim.
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0x5010_0002))]
 
     /// LU solves random diagonally dominant systems to high accuracy.
     #[test]

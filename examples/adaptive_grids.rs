@@ -26,8 +26,7 @@ use rand_chacha::ChaCha8Rng;
 
 fn target(x: &[f64]) -> f64 {
     let d = x.len() as f64;
-    (x[0] - 0.4).abs().powf(1.5)
-        + 0.2 * x.iter().map(|&v| (2.0 * v).sin()).sum::<f64>() / d
+    (x[0] - 0.4).abs().powf(1.5) + 0.2 * x.iter().map(|&v| (2.0 * v).sin()).sum::<f64>() / d
 }
 
 fn errors(grid: &SparseGrid, surplus: &[f64], probes: &[Vec<f64>]) -> (f64, f64) {
@@ -56,17 +55,29 @@ fn main() {
     println!("target: kink |x0 − 0.4|^1.5 + smooth background, d = {dim}\n");
 
     println!("regular sparse grids (a-priori selection, Eq. 13):");
-    println!("  {:>6} {:>9} {:>12} {:>12}", "level", "points", "Linf", "L2");
+    println!(
+        "  {:>6} {:>9} {:>12} {:>12}",
+        "level", "points", "Linf", "L2"
+    );
     for level in 2..=6u8 {
         let grid = regular_grid(dim, level);
         let mut surplus = tabulate(&grid, 1, |x, out| out[0] = target(x));
         hierarchize(&grid, &mut surplus, 1);
         let (linf, l2) = errors(&grid, &surplus, &probes);
-        println!("  {:>6} {:>9} {:>12.3e} {:>12.3e}", level, grid.len(), linf, l2);
+        println!(
+            "  {:>6} {:>9} {:>12.3e} {:>12.3e}",
+            level,
+            grid.len(),
+            linf,
+            l2
+        );
     }
 
     println!("\nadaptive sparse grids (a-posteriori, g(α) ≥ ε, Lmax = 8):");
-    println!("  {:>8} {:>9} {:>12} {:>12}", "epsilon", "points", "Linf", "L2");
+    println!(
+        "  {:>8} {:>9} {:>12} {:>12}",
+        "epsilon", "points", "Linf", "L2"
+    );
     for &epsilon in &[1e-2, 3e-3, 1e-3, 3e-4] {
         // Start from the level-2 regular grid and refine level by level,
         // exactly like the driver's per-step loop.
@@ -91,7 +102,13 @@ fn main() {
             frontier = report.new_nodes;
         }
         let (linf, l2) = errors(&grid, &surplus, &probes);
-        println!("  {:>8.0e} {:>9} {:>12.3e} {:>12.3e}", epsilon, grid.len(), linf, l2);
+        println!(
+            "  {:>8.0e} {:>9} {:>12.3e} {:>12.3e}",
+            epsilon,
+            grid.len(),
+            linf,
+            l2
+        );
     }
 
     println!("\nreading: at equal point budgets the adaptive grid reaches a lower error");

@@ -26,7 +26,10 @@ fn config(epsilon: f64) -> DriverConfig {
         max_level: 4,
         max_steps: 6,
         tolerance: 0.0,
-        pool: PoolConfig { threads: 2, grain: 4 },
+        pool: PoolConfig {
+            threads: 2,
+            grain: 4,
+        },
         ..Default::default()
     }
 }
@@ -81,7 +84,11 @@ fn main() {
         restored.oracle(KernelKind::X86).eval(0, &probe_x, &mut b);
         assert_eq!(a, b, "checkpoint round trip must be bitwise exact");
         let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-        println!("          checkpoint {} ({:.1} KB), round trip exact ✓", path.display(), bytes as f64 / 1024.0);
+        println!(
+            "          checkpoint {} ({:.1} KB), round trip exact ✓",
+            path.display(),
+            bytes as f64 / 1024.0
+        );
         checkpoint = Some(path);
     }
 

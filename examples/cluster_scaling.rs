@@ -64,9 +64,15 @@ fn main() {
     println!("\nstrong-scaling simulation (Fig. 8 workload, Piz Daint model):");
     let model = ClusterModel::piz_daint(0.1147);
     let levels = vec![
-        LevelWork { points_per_state: vec![119; 16] },
-        LevelWork { points_per_state: vec![6_962; 16] },
-        LevelWork { points_per_state: vec![273_996; 16] },
+        LevelWork {
+            points_per_state: vec![119; 16],
+        },
+        LevelWork {
+            points_per_state: vec![6_962; 16],
+        },
+        LevelWork {
+            points_per_state: vec![273_996; 16],
+        },
     ];
     let sweep = strong_scaling_sweep(&model, &levels, &[1, 16, 256, 4096]);
     let t1 = sweep[0].1.total;

@@ -21,7 +21,10 @@ fn config(steps: usize) -> DriverConfig {
         start_level: 2,
         max_steps: steps,
         tolerance: 1e-7,
-        pool: PoolConfig { threads: 1, grain: 4 },
+        pool: PoolConfig {
+            threads: 1,
+            grain: 4,
+        },
         ..Default::default()
     }
 }
@@ -56,10 +59,16 @@ fn main() {
     let t_dist = t0.elapsed().as_secs_f64();
 
     let (steps_done, final_change, dist_row) = &results[0];
-    println!("serial:      {} steps, final ‖Δp‖∞ = {:.2e}, {:.2} s",
-        serial_reports.len(), serial_reports.last().unwrap().sup_change, t_serial);
-    println!("distributed: {} steps, final ‖Δp‖∞ = {:.2e}, {:.2} s ({} rank threads)",
-        steps_done, final_change, t_dist, ranks);
+    println!(
+        "serial:      {} steps, final ‖Δp‖∞ = {:.2e}, {:.2} s",
+        serial_reports.len(),
+        serial_reports.last().unwrap().sup_change,
+        t_serial
+    );
+    println!(
+        "distributed: {} steps, final ‖Δp‖∞ = {:.2e}, {:.2} s ({} rank threads)",
+        steps_done, final_change, t_dist, ranks
+    );
 
     // Bitwise agreement across ranks and against the serial driver.
     for (r, (_, _, row)) in results.iter().enumerate() {
@@ -67,7 +76,10 @@ fn main() {
     }
     let x = make().steady.state_vector();
     let mut serial_row = vec![0.0; 8];
-    serial.policy.oracle(KernelKind::Avx2).eval(0, &x, &mut serial_row);
+    serial
+        .policy
+        .oracle(KernelKind::Avx2)
+        .eval(0, &x, &mut serial_row);
     assert_eq!(&serial_row, dist_row, "distributed != serial");
     println!("\nall {ranks} ranks and the serial driver agree bitwise ✓");
     println!("(on this single-core host rank threads timeshare, so wall times are\nsimilar; on a real cluster each rank is a node — see fig8 for the scaling)");

@@ -14,8 +14,14 @@ use hddm::gpu::{CudaInterpolator, Device};
 use hddm::kernels::{gold, CompressedState, DenseState, KernelKind, Scratch};
 
 fn main() {
-    let dim: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let level: u8 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let dim: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let level: u8 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let ndofs = 118;
     let evals = 500usize;
 
@@ -37,7 +43,11 @@ fn main() {
     let cuda = CudaInterpolator::new(Device::p100(), &compressed).expect("fits the P100");
 
     let points: Vec<Vec<f64>> = (0..evals)
-        .map(|s| (0..dim).map(|t| ((s * 29 + t * 13) as f64 * 0.0173) % 1.0).collect())
+        .map(|s| {
+            (0..dim)
+                .map(|t| ((s * 29 + t * 13) as f64 * 0.0173) % 1.0)
+                .collect()
+        })
         .collect();
     let mut out = vec![0.0; ndofs];
     let mut scratch = Scratch::default();
@@ -56,7 +66,12 @@ fn main() {
             kind.evaluate_compressed(&compressed, x, &mut scratch, &mut out);
         }
         let t = t0.elapsed().as_secs_f64() / evals as f64;
-        println!("{:<16} {:>14.2} {:>9.2}x", kind.name(), t * 1e6, gold_time / t);
+        println!(
+            "{:<16} {:>14.2} {:>9.2}x",
+            kind.name(),
+            t * 1e6,
+            gold_time / t
+        );
     }
 
     let mut modeled = 0.0;
@@ -65,7 +80,12 @@ fn main() {
         modeled = cuda.interpolate(x, &mut out).modeled_seconds;
     }
     let t = t0.elapsed().as_secs_f64() / evals as f64;
-    println!("{:<16} {:>14.2} {:>9.2}x", "cuda (host-sim)", t * 1e6, gold_time / t);
+    println!(
+        "{:<16} {:>14.2} {:>9.2}x",
+        "cuda (host-sim)",
+        t * 1e6,
+        gold_time / t
+    );
     println!(
         "{:<16} {:>14.2} {:>9.2}x   (roofline model incl. launch overhead)",
         "cuda (P100)",

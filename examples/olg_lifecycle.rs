@@ -13,11 +13,20 @@ use hddm::sched::PoolConfig;
 use rand::SeedableRng;
 
 fn main() {
-    let lifespan: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let states: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let lifespan: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let states: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let work_years = (lifespan * 3) / 4;
 
-    println!("Stochastic OLG: A = {lifespan} generations (d = {}), Ns = {states} Markov states", lifespan - 1);
+    println!(
+        "Stochastic OLG: A = {lifespan} generations (d = {}), Ns = {states} Markov states",
+        lifespan - 1
+    );
     let model = OlgModel::new(Calibration::small(lifespan, work_years, states, 0.05));
     println!(
         "steady state: K = {:.3}, r = {:.2}%, w = {:.3}, pension = {:.3}",
@@ -36,13 +45,16 @@ fn main() {
             start_level: 2,
             max_steps: 80,
             tolerance: 1e-8,
-            pool: PoolConfig { threads: 2, grain: 2 },
+            pool: PoolConfig {
+                threads: 2,
+                grain: 2,
+            },
             ..Default::default()
         },
     );
     println!("\ntime iteration:");
     let reports = ti.run();
-    for r in reports.iter().step_by(5).chain(reports.last().into_iter()) {
+    for r in reports.iter().step_by(5).chain(reports.last()) {
         println!(
             "  step {:>3}: ||p - pnext||_inf = {:.3e}  (L2 {:.3e}, {} pts/state, {:.2}s)",
             r.step, r.sup_change, r.l2_change, r.points_per_state[0], r.wall_seconds

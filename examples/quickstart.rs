@@ -61,7 +61,11 @@ fn main() {
     let cg = CompressedGrid::build(&grid);
     let stats = cg.stats();
     println!();
-    println!("compression: nfreq = {}, |xps| = {} unique 1-D factors", cg.nfreq(), cg.xps().len());
+    println!(
+        "compression: nfreq = {}, |xps| = {} unique 1-D factors",
+        cg.nfreq(),
+        cg.xps().len()
+    );
     println!(
         "  zeros eliminated: {:.1}%   memory {:.0} kB -> {:.0} kB ({:.1}x)",
         stats.zero_fraction * 100.0,
@@ -92,7 +96,12 @@ fn main() {
         assert!((out[0] - reference[0]).abs() < 1e-12);
     }
     let timing = cuda.interpolate(&x, &mut out);
-    println!("  {:<10} {:.10}  (modeled P100 time: {:.1} us)", "cuda", out[0], timing.modeled_seconds * 1e6);
+    println!(
+        "  {:<10} {:.10}  (modeled P100 time: {:.1} us)",
+        "cuda",
+        out[0],
+        timing.modeled_seconds * 1e6
+    );
     assert!((out[0] - reference[0]).abs() < 1e-12);
     println!();
     println!("all kernels agree to machine precision.");

@@ -15,8 +15,8 @@
 use hddm::core::{DriverConfig, OlgStep, TimeIteration};
 use hddm::kernels::KernelKind;
 use hddm::olg::{
-    consumption_equivalent, euler_errors_on_path, newborn_welfare, simulate, Calibration,
-    OlgModel, WelfareReport,
+    consumption_equivalent, euler_errors_on_path, newborn_welfare, simulate, Calibration, OlgModel,
+    WelfareReport,
 };
 use hddm::sched::PoolConfig;
 use rand::SeedableRng;
@@ -61,7 +61,10 @@ fn solve_and_evaluate(label: &str, labor_tax: f64) -> Outcome {
             max_level: 4,
             max_steps: 60,
             tolerance: 1e-6,
-            pool: PoolConfig { threads: 2, grain: 4 },
+            pool: PoolConfig {
+                threads: 2,
+                grain: 4,
+            },
             ..Default::default()
         },
     );
@@ -70,8 +73,20 @@ fn solve_and_evaluate(label: &str, labor_tax: f64) -> Outcome {
         "  converged in {} steps (‖Δp‖∞ = {:.2e}, {}..{} points/state)",
         reports.len(),
         reports.last().unwrap().sup_change,
-        reports.last().unwrap().points_per_state.iter().min().unwrap(),
-        reports.last().unwrap().points_per_state.iter().max().unwrap(),
+        reports
+            .last()
+            .unwrap()
+            .points_per_state
+            .iter()
+            .min()
+            .unwrap(),
+        reports
+            .last()
+            .unwrap()
+            .points_per_state
+            .iter()
+            .max()
+            .unwrap(),
     );
 
     // Quality gate: Euler errors along the simulated path.

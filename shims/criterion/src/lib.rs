@@ -1,0 +1,330 @@
+//! Offline shim for `criterion`: the `criterion_group!`/`criterion_main!`
+//! macros, `Criterion`/`BenchmarkGroup`/`Bencher` builders, `BenchmarkId`,
+//! `Throughput`, `BatchSize`, and `black_box`. Instead of criterion's
+//! statistical analysis it runs each benchmark for a fixed number of
+//! timed iterations and prints a mean/min line — enough for the `fig*`
+//! and `table*` workflows to get directional numbers, and for
+//! `cargo build --benches` / `cargo bench` to work offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations per sample (the shim times whole samples).
+const ITERS_PER_SAMPLE: usize = 8;
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim reads no CLI arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one("", &id.into().label, sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benches one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into().label,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benches one function with an input value (criterion's
+    /// `bench_with_input`).
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.into().label,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    group: &str,
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    let full_name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if bencher.samples.is_empty() {
+        println!("bench {full_name:<48} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|&(elapsed, iters)| elapsed.as_nanos() as f64 / iters.max(1) as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / mean)
+        }
+        _ => String::new(),
+    };
+    println!("bench {full_name:<48} mean {mean:>12.1} ns/iter  min {min:>12.1} ns/iter{extra}");
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    /// (elapsed, iterations) per sample.
+    samples: Vec<(Duration, usize)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, called in batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warm-up call outside timing.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..ITERS_PER_SAMPLE {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), ITERS_PER_SAMPLE));
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+}
+
+/// How much setup product each batch consumes (ignored by the shim).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput declaration for rate reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` compound id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-selftest");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter("batched"), |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = selftest;
+        config = Criterion::default().sample_size(3);
+        targets = tiny_bench
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        selftest();
+    }
+}

@@ -1,0 +1,288 @@
+//! Offline shim for `crossbeam-deque`: the `Injector` / `Worker` /
+//! `Stealer` / `Steal` API implemented with mutex-protected `VecDeque`s.
+//! Semantics (each pushed item popped or stolen exactly once; stealers
+//! keep the buffer alive independently of the `Worker`) match the real
+//! crate; lock-freedom does not, which is fine for the scheduler's
+//! correctness tests and coarse-grained economic workloads.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// Queue observed empty.
+    Empty,
+    /// One task obtained.
+    Success(T),
+    /// Transient contention; retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// `true` iff the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// `true` iff the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// `true` iff a task was obtained.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Extracts the task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns `self` on success, otherwise evaluates `f`; an `Empty` from
+    /// `f` is upgraded to `Retry` if `self` was `Retry`.
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Success(t) => Steal::Success(t),
+            Steal::Retry => match f() {
+                Steal::Empty => Steal::Retry,
+                other => other,
+            },
+            Steal::Empty => f(),
+        }
+    }
+}
+
+/// First `Success` wins; otherwise `Retry` if any attempt was `Retry`.
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut saw_retry = false;
+        for attempt in iter {
+            match attempt {
+                Steal::Success(t) => return Steal::Success(t),
+                Steal::Retry => saw_retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if saw_retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Buffer<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+/// A FIFO injector queue shared by all workers.
+#[derive(Debug)]
+pub struct Injector<T> {
+    buf: Arc<Buffer<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            buf: Arc::new(Buffer {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        self.buf.queue.lock().unwrap().push_back(task);
+    }
+
+    /// `true` if the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.queue.lock().unwrap().is_empty()
+    }
+
+    /// Steals one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.buf.queue.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch into `dest`'s local deque and pops one task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = self.buf.queue.lock().unwrap();
+        let first = match queue.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Move up to half of the remainder (capped) to the worker.
+        let grab = (queue.len() / 2).min(16);
+        if grab > 0 {
+            let mut local = dest.buf.queue.lock().unwrap();
+            for _ in 0..grab {
+                match queue.pop_front() {
+                    Some(t) => local.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+/// Scheduling discipline of a worker's own deque.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+/// A worker's local deque. Not `Sync`: owned by one thread, exposed to
+/// peers through [`Stealer`]s.
+#[derive(Debug)]
+pub struct Worker<T> {
+    buf: Arc<Buffer<T>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// New FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            buf: Arc::new(Buffer {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// New LIFO worker queue.
+    pub fn new_lifo() -> Self {
+        Worker {
+            buf: Arc::new(Buffer {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// A stealer handle onto this worker's deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+
+    /// Pushes a task onto the local end.
+    pub fn push(&self, task: T) {
+        self.buf.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Pops from the local end (LIFO: newest first).
+    pub fn pop(&self) -> Option<T> {
+        let mut queue = self.buf.queue.lock().unwrap();
+        match self.flavor {
+            Flavor::Lifo => queue.pop_back(),
+            Flavor::Fifo => queue.pop_front(),
+        }
+    }
+
+    /// `true` if the local deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.queue.lock().unwrap().is_empty()
+    }
+}
+
+/// A handle for stealing from one worker's deque (always from the cold
+/// end). Cloneable and shareable across threads.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    buf: Arc<Buffer<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the cold end.
+    pub fn steal(&self) -> Steal<T> {
+        match self.buf.queue.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// `true` if the observed deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.queue.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_batch_moves_work_to_worker() {
+        let injector = Injector::new();
+        for i in 0..40 {
+            injector.push(i);
+        }
+        let worker = Worker::new_lifo();
+        let first = injector.steal_batch_and_pop(&worker);
+        assert_eq!(first, Steal::Success(0));
+        let mut seen = vec![0];
+        while let Some(v) = worker.pop() {
+            seen.push(v);
+        }
+        while let Steal::Success(v) = injector.steal() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_prefers_success() {
+        let attempts = vec![Steal::Empty, Steal::Retry, Steal::Success(7)];
+        let merged: Steal<i32> = attempts.into_iter().collect();
+        assert_eq!(merged, Steal::Success(7));
+        let attempts: Vec<Steal<i32>> = vec![Steal::Empty, Steal::Retry];
+        let merged: Steal<i32> = attempts.into_iter().collect();
+        assert_eq!(merged, Steal::Retry);
+        let attempts: Vec<Steal<i32>> = vec![Steal::Empty, Steal::Empty];
+        let merged: Steal<i32> = attempts.into_iter().collect();
+        assert_eq!(merged, Steal::Empty);
+    }
+
+    #[test]
+    fn lifo_pop_order() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        let s = w.stealer();
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+    }
+}

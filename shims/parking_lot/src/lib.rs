@@ -1,0 +1,154 @@
+//! Offline shim for `parking_lot`: the poison-free `Mutex` / `Condvar` /
+//! `RwLock` API implemented over `std::sync`. Poisoned std locks are
+//! recovered transparently (parking_lot has no poisoning), which keeps the
+//! cluster communicator's panic-propagation semantics intact.
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`]. The inner `Option` is only ever `None`
+/// transiently inside [`Condvar::wait`].
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, recovering from poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// Attempts the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(_) => panic!("poisoned mutex with exclusive access"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_deref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard taken during wait")
+    }
+}
+
+/// A condition variable compatible with [`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard's lock while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard already waiting");
+        let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(reacquired);
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+/// A reader-writer lock with guard-returning `read`/`write`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn condvar_rendezvous_roundtrip() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let clone = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*clone;
+            let mut guard = lock.lock();
+            *guard += 1;
+            cv.notify_all();
+            while *guard < 2 {
+                cv.wait(&mut guard);
+            }
+            *guard
+        });
+        let (lock, cv) = &*pair;
+        {
+            let mut guard = lock.lock();
+            while *guard < 1 {
+                cv.wait(&mut guard);
+            }
+            *guard += 1;
+            cv.notify_all();
+        }
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+}

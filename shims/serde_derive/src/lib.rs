@@ -1,0 +1,162 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for **plain structs with named fields** —
+//! the only shape this workspace derives. Implemented directly on
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline). Generics, enums, tuple structs, and `#[serde(...)]`
+//! attributes are rejected with a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Struct name + field identifiers, extracted from the derive input.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut trees = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    let name = loop {
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Swallow the attribute group.
+                match trees.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub` or `pub(...)`.
+                if let Some(TokenTree::Group(g)) = trees.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        trees.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match trees.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                _ => return Err("expected struct name".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("serde_derive shim: enums are not supported".into());
+            }
+            Some(other) => {
+                return Err(format!("unexpected token before struct: {other}"));
+            }
+            None => return Err("no struct found".into()),
+        }
+    };
+
+    // Next significant token must be the brace-delimited field list (no
+    // generics in this workspace's derived types).
+    let body = match trees.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("serde_derive shim: generic structs are not supported".into());
+        }
+        other => return Err(format!("expected braced struct body, found {other:?}")),
+    };
+
+    let mut fields = Vec::new();
+    let mut inner = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility; next ident is the field
+        // name; then `:`; then the type runs until a comma at angle-depth 0.
+        let field = loop {
+            match inner.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match inner.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed field attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = inner.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            inner.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in body: {other}")),
+                None => break String::new(),
+            }
+        };
+        if field.is_empty() {
+            break;
+        }
+        match inner.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        let mut angle_depth = 0i32;
+        loop {
+            match inner.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the serde shim's `Serialize` (JSON writer) for a named-field
+/// struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (i, field) in shape.fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!("::serde::write_key({field:?}, out);\n"));
+        body.push_str(&format!(
+            "::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');\n");
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}}}\n\
+         }}",
+        name = shape.name,
+    );
+    output.parse().unwrap()
+}
+
+/// Derives the serde shim's `Deserialize` (JSON-tree reader) for a
+/// named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for field in &shape.fields {
+        inits.push_str(&format!("{field}: ::serde::field(obj, {field:?})?,\n"));
+    }
+    let output = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn deserialize_json(v: &::serde::value::Value) \
+                -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                let obj = v.as_object().ok_or_else(|| ::std::format!(\
+                    \"expected object for {name}, found {{}}\", v.kind()))?;\n\
+                ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+            }}\n\
+         }}",
+        name = shape.name,
+    );
+    output.parse().unwrap()
+}

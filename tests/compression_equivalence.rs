@@ -14,10 +14,7 @@ use hddm::kernels::{gold, CompressedState, DenseState, KernelKind, Scratch};
 
 /// Strategy: a random ancestor-closed adaptive grid in `dim` dimensions.
 fn adaptive_grid(dim: usize) -> impl Strategy<Value = SparseGrid> {
-    let coords = prop::collection::vec(
-        (0..dim as u16, 2u8..=5u8, any::<u32>()),
-        0..12,
-    );
+    let coords = prop::collection::vec((0..dim as u16, 2u8..=5u8, any::<u32>()), 0..12);
     coords.prop_map(move |raw| {
         let mut grid = SparseGrid::new(dim);
         grid.insert(NodeKey::root());
@@ -35,10 +32,8 @@ fn adaptive_grid(dim: usize) -> impl Strategy<Value = SparseGrid> {
                 .collect();
             // Deduplicate dims: keep the first occurrence.
             let mut seen = std::collections::HashSet::new();
-            let unique: Vec<ActiveCoord> = active
-                .into_iter()
-                .filter(|c| seen.insert(c.dim))
-                .collect();
+            let unique: Vec<ActiveCoord> =
+                active.into_iter().filter(|c| seen.insert(c.dim)).collect();
             grid.insert_closed(NodeKey::from_coords(unique));
         }
         grid
@@ -46,7 +41,9 @@ fn adaptive_grid(dim: usize) -> impl Strategy<Value = SparseGrid> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Cases and RNG seed are pinned so CI explores the identical grid
+    // population every run — a failure here reproduces locally verbatim.
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0x0C04_0004))]
 
     /// compressed scalar == dense reference on random adaptive grids.
     #[test]

@@ -159,10 +159,7 @@ fn distributed_step_matches_serial() {
     let model = OlgModel::new(Calibration::small(5, 3, 2, 0.03));
 
     // Serial reference: one step from the steady-state initial policy.
-    let mut serial = TimeIteration::new(
-        OlgStep::new(model.clone()),
-        config(KernelKind::X86, 1),
-    );
+    let mut serial = TimeIteration::new(OlgStep::new(model.clone()), config(KernelKind::X86, 1));
     serial.step();
     let probe = model.steady.state_vector();
     let mut serial_row = vec![0.0; ndofs];
