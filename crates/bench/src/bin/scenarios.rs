@@ -1,0 +1,190 @@
+//! Scenario-engine demo: run a batched multi-calibration sweep through
+//! the heterogeneous fleet scheduler with the compressed policy-surface
+//! cache, and demonstrate the cache-assisted warm-start win against a
+//! cold solve of the same scenario.
+//!
+//! ```text
+//! cargo run --release -p hddm-bench --bin scenarios -- --demo
+//! cargo run --release -p hddm-bench --bin scenarios -- --demo \
+//!     --lifespan 6 --work-years 4 --mc 8 --threads 4 --json sweep.json
+//! ```
+//!
+//! Exits non-zero if any scenario fails to converge (the CI smoke
+//! contract).
+
+use std::process::ExitCode;
+
+use hddm_cluster::{mixed_fleet, Assignment};
+use hddm_scenarios::{
+    run_set, run_single, CacheKind, ExecutorConfig, Knob, ScenarioSet, SurfaceCache,
+};
+
+struct Args {
+    lifespan: usize,
+    work_years: usize,
+    monte_carlo: usize,
+    threads: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        lifespan: 5,
+        work_years: 3,
+        monte_carlo: 0,
+        threads: 1,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--demo" => {} // the default (and only) workload
+            "--lifespan" => {
+                args.lifespan = value("--lifespan")?
+                    .parse()
+                    .map_err(|e| format!("--lifespan: {e}"))?
+            }
+            "--work-years" => {
+                args.work_years = value("--work-years")?
+                    .parse()
+                    .map_err(|e| format!("--work-years: {e}"))?
+            }
+            "--mc" => {
+                args.monte_carlo = value("--mc")?.parse().map_err(|e| format!("--mc: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--json" => args.json = Some(value("--json")?),
+            other => return Err(format!("unknown flag {other:?} (try --demo)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("scenarios: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The demo sweep: a 4×4 β×δ grid, optionally extended with seeded
+    // Monte-Carlo draws around the grid's base point.
+    let mut set = match ScenarioSet::demo(args.lifespan, args.work_years) {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("scenarios: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.monte_carlo > 0 {
+        let extra = ScenarioSet::monte_carlo(
+            &set.scenarios[0],
+            args.monte_carlo,
+            0xD1CE,
+            &[(Knob::Beta, 0.004), (Knob::ProductivityScale, 0.01)],
+        )
+        .expect("monte carlo jitter is admissible");
+        set.scenarios.extend(extra.scenarios);
+    }
+
+    let cache = SurfaceCache::default();
+    let config = ExecutorConfig {
+        fleet: mixed_fleet(2, 2),
+        assignment: Assignment::WorkStealing { chunk: 1 },
+        threads: args.threads,
+        ..ExecutorConfig::serial()
+    };
+
+    println!(
+        "Scenario sweep: {} scenarios (lifespan {}, work years {}), fleet 2x daint + 2x tave, {} host thread(s)\n",
+        set.len(),
+        args.lifespan,
+        args.work_years,
+        args.threads
+    );
+    let report = match run_set(&set, &cache, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("scenarios: sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "  {:<28} {:>5} {:>6} {:>10} {:>7} {:>9}  worker",
+        "scenario", "cache", "steps", "sup change", "points", "wall [ms]"
+    );
+    for s in &report.scenarios {
+        println!(
+            "  {:<28} {:>5} {:>6} {:>10.2e} {:>7} {:>9.2}  {}",
+            s.name.trim_start_matches("demo/"),
+            s.cache,
+            s.steps,
+            s.final_sup_change,
+            s.grid_points,
+            s.wall_seconds * 1e3,
+            s.worker
+        );
+    }
+
+    println!(
+        "\nfleet: planned makespan {:.3} s (imbalance {:.3}, idle {:.1}%), replayed {:.3e} s (imbalance {:.3})",
+        report.planned.schedule.makespan,
+        report.planned.imbalance,
+        100.0 * report.planned.schedule.idle_fraction,
+        report.replayed.schedule.makespan,
+        report.replayed.imbalance,
+    );
+    println!(
+        "cache: {} cold / {} warm / {} exact; total wall {:.3} s",
+        report.cold_solves, report.warm_starts, report.exact_hits, report.total_wall_seconds
+    );
+
+    // Warm-start demonstration: re-solve one warm-started scenario cold.
+    if let Some(warm) = report.scenarios.iter().find(|s| s.cache == CacheKind::Warm) {
+        let scenario = set
+            .scenarios
+            .iter()
+            .find(|s| s.name == warm.name)
+            .expect("warm scenario is in the set");
+        match run_single(scenario, &SurfaceCache::default(), &config) {
+            Ok(cold) if warm.steps < cold.steps => println!(
+                "warm-start win: {:?} solved in {} steps warm vs {} steps cold",
+                warm.name, warm.steps, cold.steps
+            ),
+            Ok(cold) => println!(
+                "warm start of {:?}: {} steps vs {} cold (no win this draw; \
+                 concurrent sweeps pick timing-dependent warm sources)",
+                warm.name, warm.steps, cold.steps
+            ),
+            Err(e) => eprintln!("cold re-solve failed: {e}"),
+        }
+    }
+
+    if let Some(path) = &args.json {
+        if let Err(e) = report.save(path) {
+            eprintln!("scenarios: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+
+    if !report.all_converged() {
+        let failed: Vec<&str> = report
+            .scenarios
+            .iter()
+            .filter(|s| !s.converged)
+            .map(|s| s.name.as_str())
+            .collect();
+        eprintln!("scenarios: NON-CONVERGED: {failed:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

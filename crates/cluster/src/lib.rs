@@ -28,7 +28,8 @@ pub mod sim;
 pub use assign::{multiplex_states, proportional_ranks};
 pub use comm::{Comm, SerialComm, ThreadComm};
 pub use hetero::{
-    fluid_bound, mixed_fleet, schedule, straggler_costs, Assignment, ScheduleResult, WorkerSpec,
+    fluid_bound, mixed_fleet, schedule, schedule_with_map, straggler_costs, Assignment,
+    ScheduleResult, WorkerSpec,
 };
 pub use nodesim::{fig7_variants, NodeVariant};
 pub use sim::{simulate_step, strong_scaling_sweep, ClusterModel, LevelWork, StepTiming};

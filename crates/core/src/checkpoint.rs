@@ -50,6 +50,50 @@ pub struct StateRecord {
     pub surplus: Vec<f64>,
 }
 
+impl StateRecord {
+    /// Flattens one compressed interpolant to the plain-array form —
+    /// shared by checkpoints and the scenario engine's policy-surface
+    /// cache.
+    pub fn capture(state: &CompressedState) -> StateRecord {
+        StateRecord {
+            xps: state
+                .grid
+                .xps()
+                .iter()
+                .map(|e| (e.index, e.l, e.i))
+                .collect(),
+            chains: state.grid.chains().to_vec(),
+            order: state.grid.order().to_vec(),
+            nfreq: state.grid.nfreq(),
+            surplus: state.surplus.clone(),
+        }
+    }
+
+    /// Rebuilds the compressed interpolant. Panics on structural
+    /// corruption (the validation lives in
+    /// [`CompressedGrid::from_raw_parts`]).
+    pub fn restore(&self, dim: usize, ndofs: usize) -> CompressedState {
+        let xps = self
+            .xps
+            .iter()
+            .map(|&(index, l, i)| XpsEntry { index, l, i })
+            .collect();
+        let cg = CompressedGrid::from_raw_parts(
+            dim,
+            self.nfreq,
+            xps,
+            self.chains.clone(),
+            self.order.clone(),
+        );
+        assert_eq!(
+            self.surplus.len(),
+            cg.nno() * ndofs,
+            "surplus length mismatch in state record"
+        );
+        CompressedState::from_parts(cg, self.surplus.clone(), ndofs)
+    }
+}
+
 /// A complete, versioned snapshot of the solver state between time steps.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -74,16 +118,7 @@ impl Checkpoint {
     pub fn capture<M: StepModel>(ti: &TimeIteration<M>) -> Checkpoint {
         let domain = &ti.policy.domain;
         let states = (0..ti.policy.states.num_states())
-            .map(|z| {
-                let s = ti.policy.states.state(z);
-                StateRecord {
-                    xps: s.grid.xps().iter().map(|e| (e.index, e.l, e.i)).collect(),
-                    chains: s.grid.chains().to_vec(),
-                    order: s.grid.order().to_vec(),
-                    nfreq: s.grid.nfreq(),
-                    surplus: s.surplus.clone(),
-                }
-            })
+            .map(|z| StateRecord::capture(ti.policy.states.state(z)))
             .collect();
         Checkpoint {
             version: CHECKPOINT_VERSION,
@@ -103,26 +138,7 @@ impl Checkpoint {
         let states = self
             .states
             .iter()
-            .map(|r| {
-                let xps = r
-                    .xps
-                    .iter()
-                    .map(|&(index, l, i)| XpsEntry { index, l, i })
-                    .collect();
-                let cg = CompressedGrid::from_raw_parts(
-                    self.dim,
-                    r.nfreq,
-                    xps,
-                    r.chains.clone(),
-                    r.order.clone(),
-                );
-                assert_eq!(
-                    r.surplus.len(),
-                    cg.nno() * self.ndofs,
-                    "surplus length mismatch in checkpoint"
-                );
-                CompressedState::from_parts(cg, r.surplus.clone(), self.ndofs)
-            })
+            .map(|r| r.restore(self.dim, self.ndofs))
             .collect();
         PolicySet::new(states, domain)
     }

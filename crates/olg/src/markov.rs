@@ -20,20 +20,34 @@ impl MarkovChain {
     /// If any row does not sum to 1 (tolerance 1e-10) or has negative
     /// entries.
     pub fn new(n: usize, rows: Vec<f64>) -> Self {
-        assert_eq!(rows.len(), n * n, "transition matrix must be n x n");
+        Self::try_new(n, rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking constructor: validates shape, finiteness,
+    /// non-negativity, and row-stochasticity, returning a diagnostic
+    /// instead of aborting — the deserialization and scenario-manifest
+    /// path.
+    pub fn try_new(n: usize, rows: Vec<f64>) -> Result<Self, String> {
+        if rows.len() != n * n {
+            return Err(format!(
+                "transition matrix must be n x n: {} entries for n = {n}",
+                rows.len()
+            ));
+        }
         for z in 0..n {
             let row = &rows[z * n..(z + 1) * n];
-            assert!(
-                row.iter().all(|&p| p >= 0.0),
-                "negative transition probability in row {z}"
-            );
+            if row.iter().any(|p| !p.is_finite()) {
+                return Err(format!("non-finite transition probability in row {z}"));
+            }
+            if row.iter().any(|&p| p < 0.0) {
+                return Err(format!("negative transition probability in row {z}"));
+            }
             let sum: f64 = row.iter().sum();
-            assert!(
-                (sum - 1.0).abs() < 1e-10,
-                "row {z} sums to {sum}, expected 1"
-            );
+            if (sum - 1.0).abs() >= 1e-10 {
+                return Err(format!("row {z} sums to {sum}, expected 1"));
+            }
         }
-        MarkovChain { n, rows }
+        Ok(MarkovChain { n, rows })
     }
 
     /// The single-state (deterministic) chain.
@@ -142,6 +156,33 @@ impl MarkovChain {
             z = self.step(z, rng);
         }
         path
+    }
+}
+
+// Manual serde impls (not derived): the fields are private, and the
+// deserializer must funnel through `try_new` so a hand-edited manifest
+// with a non-stochastic matrix is rejected with a diagnostic instead of
+// producing an invalid chain.
+impl serde::Serialize for MarkovChain {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        serde::write_key("n", out);
+        self.n.serialize_json(out);
+        out.push(',');
+        serde::write_key("rows", out);
+        self.rows.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl serde::Deserialize for MarkovChain {
+    fn deserialize_json(v: &serde::value::Value) -> Result<Self, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("expected object for MarkovChain, found {}", v.kind()))?;
+        let n: usize = serde::field(obj, "n")?;
+        let rows: Vec<f64> = serde::field(obj, "rows")?;
+        MarkovChain::try_new(n, rows)
     }
 }
 

@@ -75,7 +75,7 @@ pub struct OlgModel {
 }
 
 /// Width policy for the state box around the steady state.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BoxPolicy {
     /// Relative half-width for aggregate capital.
     pub capital_span: f64,

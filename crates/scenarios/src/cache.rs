@@ -1,0 +1,430 @@
+//! The content-addressed policy-surface cache.
+//!
+//! Every converged scenario solve deposits its policy surface — one
+//! compressed interpolant per discrete state, flattened through the
+//! `hddm_compress` pipeline into [`StateRecord`] rows — keyed by the
+//! deterministic scenario hash. A later solve of the *same* scenario is
+//! an exact hit and skips the solver entirely; a solve of a *nearby*
+//! scenario (same state-space shape, close parameter fingerprint) warm
+//! starts from the cached surface projected onto its own domain box
+//! instead of the constant steady-state guess, cutting the
+//! time-iteration count.
+//!
+//! Measured solve costs ride along on each entry, so the executor's
+//! fleet assignment improves as the cache fills (cost estimates are fed
+//! back from actual runs of nearby scenarios).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hddm_asg::{hierarchize, regular_grid, BoxDomain};
+use hddm_compress::CompressedGrid;
+use hddm_core::{PolicySet, StateRecord};
+use hddm_kernels::{CompressedState, KernelKind};
+use hddm_olg::PolicyOracle;
+
+use crate::hash::fingerprint_distance;
+
+/// The state-space shape a cached surface was solved on. Warm starts
+/// require an exact shape match: a surface over a different
+/// dimensionality or state count is not even interpretable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    /// Continuous dimensionality `d`.
+    pub dim: usize,
+    /// Coefficients per grid point.
+    pub ndofs: usize,
+    /// Number of discrete Markov states.
+    pub num_states: usize,
+}
+
+/// One cached policy surface with its provenance and cost telemetry.
+#[derive(Clone, Debug)]
+pub struct CachedSurface {
+    /// Content hash of the producing scenario.
+    pub hash: u64,
+    /// State-space shape.
+    pub shape: ShapeKey,
+    /// Parameter fingerprint of the producing scenario.
+    pub fingerprint: Vec<f64>,
+    /// Domain box lower bounds the surface was solved on.
+    pub domain_lo: Vec<f64>,
+    /// Domain box upper bounds.
+    pub domain_hi: Vec<f64>,
+    /// Per-state compressed interpolants (the `hddm_compress` arrays).
+    pub records: Vec<StateRecord>,
+    /// Time-iteration steps the producing solve took.
+    pub steps: usize,
+    /// Final sup policy change of the producing solve.
+    pub final_sup_change: f64,
+    /// Measured wall-clock seconds of the producing solve (cost
+    /// feedback for the fleet assignment).
+    pub cost_seconds: f64,
+}
+
+impl CachedSurface {
+    /// Rebuilds the policy set from the compressed records.
+    pub fn restore_policy(&self) -> PolicySet {
+        let domain = BoxDomain::new(self.domain_lo.clone(), self.domain_hi.clone());
+        let states = self
+            .records
+            .iter()
+            .map(|r| r.restore(self.shape.dim, self.shape.ndofs))
+            .collect();
+        PolicySet::new(states, domain)
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// Identical scenario already solved: reuse the surface verbatim.
+    Exact(Arc<CachedSurface>),
+    /// A nearby scenario's surface is available for a warm start.
+    Warm(Arc<CachedSurface>),
+    /// Nothing usable cached; solve cold.
+    Miss,
+}
+
+/// Cache telemetry counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Exact-hash hits served.
+    pub exact_hits: usize,
+    /// Warm-start hits served.
+    pub warm_hits: usize,
+    /// Lookups that found nothing usable.
+    pub misses: usize,
+}
+
+/// The shared, thread-safe surface cache. Lookup order over candidates is
+/// insertion order, so concurrent sweeps stay deterministic given a
+/// deterministic execution order.
+pub struct SurfaceCache {
+    inner: Mutex<Inner>,
+    exact_hits: AtomicUsize,
+    warm_hits: AtomicUsize,
+    misses: AtomicUsize,
+    /// Maximum fingerprint distance a warm start may bridge.
+    warm_radius: f64,
+}
+
+struct Inner {
+    by_hash: HashMap<u64, Arc<CachedSurface>>,
+    /// Insertion order of hashes — the deterministic scan order for
+    /// nearest-neighbour searches (`HashMap` iteration order is seeded
+    /// per-process and would make warm-start choices irreproducible).
+    order: Vec<u64>,
+}
+
+impl Default for SurfaceCache {
+    fn default() -> Self {
+        SurfaceCache::new(0.05)
+    }
+}
+
+impl SurfaceCache {
+    /// An empty cache accepting warm starts within `warm_radius`
+    /// fingerprint distance (see [`fingerprint_distance`]).
+    pub fn new(warm_radius: f64) -> SurfaceCache {
+        SurfaceCache {
+            inner: Mutex::new(Inner {
+                by_hash: HashMap::new(),
+                order: Vec::new(),
+            }),
+            exact_hits: AtomicUsize::new(0),
+            warm_hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            warm_radius,
+        }
+    }
+
+    /// Looks up a surface for the scenario identified by `hash`,
+    /// `shape`, and `fingerprint`: exact hash match first, then — when
+    /// `allow_warm` — the nearest same-shape neighbour within the warm
+    /// radius. With `allow_warm: false` a non-exact lookup counts as a
+    /// miss, so telemetry matches what the executor actually serves.
+    pub fn lookup(
+        &self,
+        hash: u64,
+        shape: ShapeKey,
+        fingerprint: &[f64],
+        allow_warm: bool,
+    ) -> Lookup {
+        let inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.by_hash.get(&hash) {
+            self.exact_hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Exact(Arc::clone(entry));
+        }
+        if !allow_warm {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        }
+        let mut best: Option<(f64, &Arc<CachedSurface>)> = None;
+        for h in &inner.order {
+            let entry = &inner.by_hash[h];
+            if entry.shape != shape {
+                continue;
+            }
+            let d = fingerprint_distance(&entry.fingerprint, fingerprint);
+            if d <= self.warm_radius && best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                best = Some((d, entry));
+            }
+        }
+        match best {
+            Some((_, entry)) => {
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Warm(Arc::clone(entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Deposits a solved policy surface, flattening each state's
+    /// compressed interpolant to a [`StateRecord`]. Last writer wins on
+    /// hash collisions of identical scenarios (the surfaces are
+    /// interchangeable by construction).
+    #[allow(clippy::too_many_arguments)]
+    pub fn store_policy(
+        &self,
+        hash: u64,
+        shape: ShapeKey,
+        fingerprint: Vec<f64>,
+        policy: &PolicySet,
+        steps: usize,
+        final_sup_change: f64,
+        cost_seconds: f64,
+    ) {
+        let records = (0..policy.states.num_states())
+            .map(|z| StateRecord::capture(policy.states.state(z)))
+            .collect();
+        let surface = CachedSurface {
+            hash,
+            shape,
+            fingerprint,
+            domain_lo: policy.domain.lo().to_vec(),
+            domain_hi: policy.domain.hi().to_vec(),
+            records,
+            steps,
+            final_sup_change,
+            cost_seconds,
+        };
+        let mut inner = self.inner.lock().unwrap();
+        if inner.by_hash.insert(hash, Arc::new(surface)).is_none() {
+            inner.order.push(hash);
+        }
+    }
+
+    /// The measured cost of the nearest same-shape cached scenario, if
+    /// any lies within the warm radius — the feedback path from executed
+    /// scenarios into the next sweep's fleet assignment.
+    pub fn estimated_cost(&self, shape: ShapeKey, fingerprint: &[f64]) -> Option<f64> {
+        let inner = self.inner.lock().unwrap();
+        let mut best: Option<(f64, f64)> = None;
+        for h in &inner.order {
+            let entry = &inner.by_hash[h];
+            if entry.shape != shape {
+                continue;
+            }
+            let d = fingerprint_distance(&entry.fingerprint, fingerprint);
+            if d <= self.warm_radius && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, entry.cost_seconds));
+            }
+        }
+        best.map(|(_, cost)| cost)
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.inner.lock().unwrap().order.len(),
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Projects a cached policy surface onto a new scenario's domain box:
+/// tabulates the cached interpolant (clamped into its own box, the
+/// paper's domain truncation) on the target's start-level regular grid,
+/// hierarchizes, and compresses — producing the warm-start `p⁰` in
+/// exactly the representation the driver iterates on.
+pub fn project_policy(
+    cached: &PolicySet,
+    target_lo: &[f64],
+    target_hi: &[f64],
+    start_level: u8,
+    kernel: KernelKind,
+) -> PolicySet {
+    let dim = cached.domain.dim();
+    assert_eq!(target_lo.len(), dim, "projection dimension mismatch");
+    let ndofs = cached.states.state(0).ndofs;
+    let target = BoxDomain::new(target_lo.to_vec(), target_hi.to_vec());
+    let grid = regular_grid(dim, start_level);
+    let mut oracle = cached.oracle(kernel);
+    let mut phys = vec![0.0; dim];
+    let states = (0..cached.states.num_states())
+        .map(|z| {
+            let mut values = hddm_asg::tabulate(&grid, ndofs, |unit, out| {
+                target.from_unit(unit, &mut phys);
+                oracle.eval(z, &phys, out);
+            });
+            hierarchize(&grid, &mut values, ndofs);
+            let cg = CompressedGrid::build(&grid);
+            let reordered = cg.reorder_rows(&values, ndofs);
+            CompressedState::from_parts(cg, reordered, ndofs)
+        })
+        .collect();
+    PolicySet::new(states, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hddm_asg::tabulate;
+
+    fn shape() -> ShapeKey {
+        ShapeKey {
+            dim: 2,
+            ndofs: 1,
+            num_states: 1,
+        }
+    }
+
+    /// A one-state policy set interpolating `f(x_phys) = a·x₀ + b·x₁`
+    /// over `domain`.
+    fn linear_policy(domain: &BoxDomain, a: f64, b: f64) -> PolicySet {
+        let grid = regular_grid(2, 3);
+        let mut phys = vec![0.0; 2];
+        let mut values = tabulate(&grid, 1, |unit, out| {
+            domain.from_unit(unit, &mut phys);
+            out[0] = a * phys[0] + b * phys[1];
+        });
+        hierarchize(&grid, &mut values, 1);
+        let cg = CompressedGrid::build(&grid);
+        let reordered = cg.reorder_rows(&values, 1);
+        PolicySet::new(
+            vec![CompressedState::from_parts(cg, reordered, 1)],
+            domain.clone(),
+        )
+    }
+
+    #[test]
+    fn exact_beats_warm_beats_miss() {
+        let cache = SurfaceCache::new(0.05);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 2.0);
+        cache.store_policy(77, shape(), vec![0.95, 2.0], &policy, 9, 1e-8, 0.5);
+
+        assert!(matches!(
+            cache.lookup(77, shape(), &[0.95, 2.0], true),
+            Lookup::Exact(_)
+        ));
+        // Different hash, close fingerprint → warm.
+        match cache.lookup(78, shape(), &[0.953, 2.0], true) {
+            Lookup::Warm(s) => assert_eq!(s.hash, 77),
+            other => panic!("expected warm, got {other:?}"),
+        }
+        // Too far → miss.
+        assert!(matches!(
+            cache.lookup(79, shape(), &[0.5, 2.0], true),
+            Lookup::Miss
+        ));
+        // Different shape → miss even when the fingerprint matches.
+        let other_shape = ShapeKey {
+            dim: 3,
+            ndofs: 1,
+            num_states: 1,
+        };
+        assert!(matches!(
+            cache.lookup(80, other_shape, &[0.95, 2.0], true),
+            Lookup::Miss
+        ));
+        let stats = cache.stats();
+        assert_eq!(
+            (
+                stats.entries,
+                stats.exact_hits,
+                stats.warm_hits,
+                stats.misses
+            ),
+            (1, 1, 1, 2)
+        );
+    }
+
+    #[test]
+    fn warm_lookup_picks_the_nearest_neighbour() {
+        let cache = SurfaceCache::new(0.2);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 0.0);
+        cache.store_policy(1, shape(), vec![0.90], &policy, 5, 1e-8, 0.1);
+        cache.store_policy(2, shape(), vec![0.96], &policy, 5, 1e-8, 0.1);
+        cache.store_policy(3, shape(), vec![0.99], &policy, 5, 1e-8, 0.1);
+        match cache.lookup(99, shape(), &[0.95], true) {
+            Lookup::Warm(s) => assert_eq!(s.hash, 2),
+            other => panic!("expected warm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cached_surface_restores_bitwise() {
+        let cache = SurfaceCache::default();
+        let domain = BoxDomain::new(vec![-1.0, 2.0], vec![1.0, 5.0]);
+        let policy = linear_policy(&domain, 0.7, -0.3);
+        cache.store_policy(5, shape(), vec![1.0], &policy, 3, 1e-9, 0.2);
+        let Lookup::Exact(surface) = cache.lookup(5, shape(), &[1.0], true) else {
+            panic!("expected exact hit");
+        };
+        let restored = surface.restore_policy();
+        let mut oa = policy.oracle(KernelKind::X86);
+        let mut ob = restored.oracle(KernelKind::X86);
+        let mut a = [0.0];
+        let mut b = [0.0];
+        for probe in [[-0.5, 2.5], [0.0, 3.0], [0.9, 4.9]] {
+            oa.eval(0, &probe, &mut a);
+            ob.eval(0, &probe, &mut b);
+            assert_eq!(a[0].to_bits(), b[0].to_bits(), "probe {probe:?}");
+        }
+    }
+
+    #[test]
+    fn projection_reproduces_the_surface_on_an_overlapping_box() {
+        // Cached: linear surface on [0,1]². Target: the sub-box
+        // [0.2,0.8]×[0.1,0.9]. A piecewise-linear interpolant of a linear
+        // function is exact, so the projection must reproduce the
+        // function on the whole target box.
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let cached = linear_policy(&domain, 2.0, -1.0);
+        let projected = project_policy(&cached, &[0.2, 0.1], &[0.8, 0.9], 3, KernelKind::X86);
+        let mut oracle = projected.oracle(KernelKind::X86);
+        let mut out = [0.0];
+        for probe in [[0.25, 0.3], [0.5, 0.5], [0.75, 0.85]] {
+            oracle.eval(0, &probe, &mut out);
+            let want = 2.0 * probe[0] - probe[1];
+            assert!(
+                (out[0] - want).abs() < 1e-10,
+                "probe {probe:?}: {} vs {want}",
+                out[0]
+            );
+        }
+    }
+
+    #[test]
+    fn cost_feedback_returns_the_nearest_measured_cost() {
+        let cache = SurfaceCache::new(0.2);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 0.0);
+        assert_eq!(cache.estimated_cost(shape(), &[0.95]), None);
+        cache.store_policy(1, shape(), vec![0.90], &policy, 5, 1e-8, 1.5);
+        cache.store_policy(2, shape(), vec![0.96], &policy, 5, 1e-8, 2.5);
+        assert_eq!(cache.estimated_cost(shape(), &[0.95]), Some(2.5));
+        assert_eq!(cache.estimated_cost(shape(), &[0.90]), Some(1.5));
+    }
+}

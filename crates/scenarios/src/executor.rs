@@ -1,0 +1,428 @@
+//! The batch executor: runs a [`ScenarioSet`] through the time-iteration
+//! driver, scheduling scenarios across the simulated heterogeneous fleet
+//! (`hddm_cluster::hetero`) and across host threads
+//! (`hddm_sched::parallel_for_init`), with the policy-surface cache
+//! supplying exact hits and warm starts.
+//!
+//! Cost model feedback: the fleet assignment is computed from
+//! per-scenario cost estimates. Before anything has run, the estimate is
+//! an analytic point-count model; once the cache holds measured costs of
+//! nearby scenarios, those replace the analytic guess — so a second
+//! sweep's assignment reflects what the first sweep actually cost. The
+//! report carries both the planned schedule (estimates) and the replay
+//! of the measured costs, making the estimate error visible.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hddm_asg::regular_grid_size;
+use hddm_cluster::{mixed_fleet, schedule_with_map, Assignment, WorkerSpec};
+use hddm_core::{DriverConfig, OlgStep, TimeIteration};
+use hddm_kernels::KernelKind;
+use hddm_sched::{parallel_for_init, PoolConfig};
+use hddm_solver::NewtonOptions;
+
+use crate::cache::{project_policy, Lookup, ShapeKey, SurfaceCache};
+use crate::hash::{fingerprint, scenario_hash};
+use crate::report::{CacheKind, FleetSummary, ScenarioReport, SweepReport};
+use crate::scenario::{Scenario, ScenarioSet};
+
+/// Executor configuration: the simulated fleet the sweep is scheduled
+/// onto, and the host resources it actually runs with.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// Simulated heterogeneous fleet the scenarios are assigned to.
+    pub fleet: Vec<WorkerSpec>,
+    /// Assignment policy over the fleet.
+    pub assignment: Assignment,
+    /// Host threads running scenarios concurrently (scenario-level
+    /// `parallel_for`; each scenario's own point solves use
+    /// `SolveSettings::solver_threads`).
+    pub threads: usize,
+    /// Interpolation kernel for policy evaluations.
+    pub kernel: KernelKind,
+    /// Whether nearby cached surfaces may seed warm starts.
+    pub warm_start: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            fleet: mixed_fleet(2, 2),
+            assignment: Assignment::WorkStealing { chunk: 1 },
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            kernel: KernelKind::Avx2,
+            warm_start: true,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// A deterministic single-threaded executor: scenarios run in set
+    /// order, so warm-start provenance is reproducible run to run.
+    pub fn serial() -> ExecutorConfig {
+        ExecutorConfig {
+            threads: 1,
+            ..ExecutorConfig::default()
+        }
+    }
+}
+
+/// The scenario's state-space shape, derivable without solving the
+/// steady state.
+fn shape_of(scenario: &Scenario) -> ShapeKey {
+    ShapeKey {
+        dim: scenario.calibration.dim(),
+        ndofs: scenario.calibration.ndofs(),
+        num_states: scenario.calibration.num_states(),
+    }
+}
+
+/// Analytic cost estimate in arbitrary reference units: grid points ×
+/// discrete states × dof rows × step budget. Only relative magnitudes
+/// matter to the assignment.
+fn analytic_cost(scenario: &Scenario) -> f64 {
+    let shape = shape_of(scenario);
+    let points = regular_grid_size(shape.dim, scenario.solve.start_level) as f64;
+    points * shape.num_states as f64 * shape.ndofs as f64 * scenario.solve.max_steps as f64 * 1e-6
+}
+
+/// Estimated cost of one scenario: the measured cost of the nearest
+/// cached neighbour when available (the feedback path), otherwise the
+/// analytic model.
+fn estimate_cost(scenario: &Scenario, cache: &SurfaceCache) -> f64 {
+    cache
+        .estimated_cost(shape_of(scenario), &fingerprint(scenario))
+        .unwrap_or_else(|| analytic_cost(scenario))
+}
+
+fn driver_config(scenario: &Scenario, kernel: KernelKind) -> DriverConfig {
+    let s = &scenario.solve;
+    DriverConfig {
+        kernel,
+        start_level: s.start_level,
+        refine_epsilon: s.refine_epsilon,
+        max_level: s.max_level,
+        pool: PoolConfig {
+            threads: s.solver_threads,
+            grain: 1,
+        },
+        max_steps: s.max_steps,
+        tolerance: s.tolerance,
+        ..Default::default()
+    }
+}
+
+/// Solves one scenario against the cache and returns its report (with
+/// `worker` left for the caller to fill in). Converged surfaces are
+/// deposited back into the cache, measured cost included.
+fn solve_one(
+    scenario: &Scenario,
+    cache: &SurfaceCache,
+    config: &ExecutorConfig,
+) -> Result<ScenarioReport, String> {
+    let start = Instant::now();
+    let hash = scenario_hash(scenario);
+    let shape = shape_of(scenario);
+    let fp = fingerprint(scenario);
+    let tolerance = scenario.solve.tolerance;
+
+    let looked_up = cache.lookup(hash, shape, &fp, config.warm_start);
+    if let Lookup::Exact(surface) = &looked_up {
+        // Identical scenario already solved: the surface is the answer.
+        let grid_points = surface
+            .records
+            .iter()
+            .map(|r| r.surplus.len() / shape.ndofs)
+            .sum();
+        return Ok(ScenarioReport {
+            name: scenario.name.clone(),
+            hash,
+            steps: 0,
+            converged: true,
+            final_sup_change: surface.final_sup_change,
+            solver_failures: 0,
+            grid_points,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cache: CacheKind::Exact,
+            warm_source: None,
+            worker: String::new(),
+        });
+    }
+
+    let model = scenario.build_model()?;
+    let newton = NewtonOptions {
+        max_iterations: scenario.solve.newton_max_iterations,
+        ..Default::default()
+    };
+    let step = OlgStep { model, newton };
+    let dconfig = driver_config(scenario, config.kernel);
+
+    let (mut ti, cache_tag, warm_source) = match looked_up {
+        Lookup::Warm(surface) => {
+            let projected = project_policy(
+                &surface.restore_policy(),
+                &step.model.lower,
+                &step.model.upper,
+                scenario.solve.start_level,
+                config.kernel,
+            );
+            (
+                TimeIteration::with_policy(step, dconfig, projected, 0),
+                CacheKind::Warm,
+                Some(surface.hash),
+            )
+        }
+        Lookup::Miss => (TimeIteration::new(step, dconfig), CacheKind::Cold, None),
+        Lookup::Exact(_) => unreachable!("exact hits return early"),
+    };
+
+    let reports = ti.run();
+    let last = reports.last().expect("max_steps ≥ 1 yields ≥ 1 report");
+    let converged = last.sup_change < tolerance;
+    let wall = start.elapsed().as_secs_f64();
+    if converged {
+        cache.store_policy(
+            hash,
+            shape,
+            fp,
+            &ti.policy,
+            reports.len(),
+            last.sup_change,
+            wall,
+        );
+    }
+    Ok(ScenarioReport {
+        name: scenario.name.clone(),
+        hash,
+        steps: reports.len(),
+        converged,
+        final_sup_change: last.sup_change,
+        solver_failures: reports.iter().map(|r| r.solver_failures).sum(),
+        grid_points: ti.policy.points_per_state().iter().sum(),
+        wall_seconds: wall,
+        cache: cache_tag,
+        warm_source,
+        worker: String::new(),
+    })
+}
+
+/// Runs a single scenario outside any sweep (cold-versus-warm
+/// comparisons, CLI one-offs). The report's worker is `"local"`.
+pub fn run_single(
+    scenario: &Scenario,
+    cache: &SurfaceCache,
+    config: &ExecutorConfig,
+) -> Result<ScenarioReport, String> {
+    scenario.validate()?;
+    let mut report = solve_one(scenario, cache, config)?;
+    report.worker = "local".into();
+    Ok(report)
+}
+
+/// Runs a whole scenario set: estimates costs (cache feedback first,
+/// analytic model otherwise), assigns scenarios to the simulated fleet,
+/// executes them across host threads, then replays the schedule with the
+/// measured costs. Returns the full [`SweepReport`].
+pub fn run_set(
+    set: &ScenarioSet,
+    cache: &SurfaceCache,
+    config: &ExecutorConfig,
+) -> Result<SweepReport, String> {
+    if set.is_empty() {
+        return Err("empty scenario set".into());
+    }
+    for scenario in &set.scenarios {
+        scenario.validate()?;
+    }
+    if config.fleet.is_empty() {
+        return Err("executor fleet is empty".into());
+    }
+
+    let estimates: Vec<f64> = set
+        .scenarios
+        .iter()
+        .map(|s| estimate_cost(s, cache))
+        .collect();
+    let (planned, map) = schedule_with_map(&config.fleet, &estimates, config.assignment);
+    let worker_names: Vec<String> = config.fleet.iter().map(|w| w.name.clone()).collect();
+
+    let sweep_start = Instant::now();
+    let n = set.len();
+    let results: Mutex<Vec<Option<Result<ScenarioReport, String>>>> = Mutex::new(vec![None; n]);
+    parallel_for_init(
+        n,
+        &PoolConfig {
+            threads: config.threads,
+            grain: 1,
+        },
+        || (),
+        |(), i| {
+            let mut result = solve_one(&set.scenarios[i], cache, config);
+            if let Ok(report) = &mut result {
+                report.worker = worker_names[map[i]].clone();
+            }
+            results.lock().unwrap()[i] = Some(result);
+        },
+    );
+    let total_wall_seconds = sweep_start.elapsed().as_secs_f64();
+
+    let mut scenarios = Vec::with_capacity(n);
+    for (i, slot) in results.into_inner().unwrap().into_iter().enumerate() {
+        let report =
+            slot.unwrap_or_else(|| Err(format!("scenario {i} was never executed (pool bug)")))?;
+        scenarios.push(report);
+    }
+
+    let measured: Vec<f64> = scenarios.iter().map(|s| s.wall_seconds).collect();
+    let (replayed, _) = schedule_with_map(&config.fleet, &measured, config.assignment);
+
+    let count = |kind: CacheKind| scenarios.iter().filter(|s| s.cache == kind).count();
+    Ok(SweepReport {
+        exact_hits: count(CacheKind::Exact),
+        warm_starts: count(CacheKind::Warm),
+        cold_solves: count(CacheKind::Cold),
+        scenarios,
+        planned: FleetSummary::new(worker_names.clone(), planned),
+        replayed: FleetSummary::new(worker_names, replayed),
+        total_wall_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Knob;
+    use hddm_olg::Calibration;
+
+    fn base() -> Scenario {
+        let mut s = Scenario::from_calibration("exec", Calibration::small(4, 3, 2, 0.03));
+        s.solve.tolerance = 1e-6;
+        s.solve.max_steps = 50;
+        s
+    }
+
+    #[test]
+    fn single_scenario_converges_and_populates_the_cache() {
+        let cache = SurfaceCache::default();
+        let report = run_single(&base(), &cache, &ExecutorConfig::serial()).unwrap();
+        assert!(report.converged, "sup change {}", report.final_sup_change);
+        assert_eq!(report.cache, CacheKind::Cold);
+        assert!(report.steps > 0);
+        assert_eq!(cache.stats().entries, 1);
+
+        // Identical scenario again: exact hit, no solving.
+        let again = run_single(&base(), &cache, &ExecutorConfig::serial()).unwrap();
+        assert_eq!(again.cache, CacheKind::Exact);
+        assert_eq!(again.steps, 0);
+        assert_eq!(again.warm_source, None);
+    }
+
+    #[test]
+    fn warm_start_beats_cold_start_on_a_nearby_scenario() {
+        let cache = SurfaceCache::default();
+        let config = ExecutorConfig::serial();
+        run_single(&base(), &cache, &config).unwrap();
+
+        let mut nearby = base();
+        Knob::Beta.apply(&mut nearby, 0.9525).unwrap();
+        nearby.name = "exec/nearby".into();
+
+        let warm = run_single(&nearby, &cache, &config).unwrap();
+        assert_eq!(warm.cache, CacheKind::Warm, "expected a warm start");
+        assert!(warm.converged);
+
+        let cold_cache = SurfaceCache::default();
+        let cold = run_single(&nearby, &cold_cache, &config).unwrap();
+        assert_eq!(cold.cache, CacheKind::Cold);
+        assert!(cold.converged);
+        assert!(
+            warm.steps < cold.steps,
+            "warm {} vs cold {} steps",
+            warm.steps,
+            cold.steps
+        );
+    }
+
+    #[test]
+    fn warm_start_can_be_disabled() {
+        let cache = SurfaceCache::default();
+        let config = ExecutorConfig::serial();
+        run_single(&base(), &cache, &config).unwrap();
+        let mut nearby = base();
+        Knob::Beta.apply(&mut nearby, 0.9525).unwrap();
+        let cold_config = ExecutorConfig {
+            warm_start: false,
+            ..ExecutorConfig::serial()
+        };
+        let report = run_single(&nearby, &cache, &cold_config).unwrap();
+        assert_eq!(report.cache, CacheKind::Cold);
+        // Telemetry agrees with what was served: the disabled warm path
+        // counts as a miss, not a warm hit.
+        let stats = cache.stats();
+        assert_eq!(stats.warm_hits, 0);
+        assert_eq!(stats.misses, 2); // the seeding cold solve + this one
+    }
+
+    #[test]
+    fn run_set_schedules_every_scenario_and_counts_cache_traffic() {
+        let cache = SurfaceCache::default();
+        let set =
+            ScenarioSet::grid(&base(), &[(Knob::Beta, vec![0.949, 0.95, 0.951, 0.952])]).unwrap();
+        let report = run_set(&set, &cache, &ExecutorConfig::serial()).unwrap();
+        assert_eq!(report.scenarios.len(), 4);
+        assert!(report.all_converged());
+        // Serial execution: the first scenario is cold, the rest warm
+        // start off the growing cache.
+        assert_eq!(report.cold_solves, 1);
+        assert_eq!(report.warm_starts, 3);
+        assert_eq!(report.exact_hits, 0);
+        // Every scenario is attributed to a fleet worker.
+        let names: std::collections::HashSet<_> = report.planned.workers.iter().cloned().collect();
+        for s in &report.scenarios {
+            assert!(names.contains(&s.worker), "unknown worker {:?}", s.worker);
+        }
+        assert_eq!(report.planned.schedule.tasks.iter().sum::<usize>(), 4);
+        // Re-running the identical set is all exact hits.
+        let second = run_set(&set, &cache, &ExecutorConfig::serial()).unwrap();
+        assert_eq!(second.exact_hits, 4);
+        assert_eq!(second.cold_solves, 0);
+    }
+
+    #[test]
+    fn cost_feedback_changes_the_estimates_after_a_sweep() {
+        let cache = SurfaceCache::default();
+        let scenario = base();
+        let analytic = estimate_cost(&scenario, &cache);
+        run_single(&scenario, &cache, &ExecutorConfig::serial()).unwrap();
+        let fed_back = estimate_cost(&scenario, &cache);
+        // The measured wall clock of the real solve replaces the
+        // analytic unit-model estimate.
+        assert_ne!(analytic.to_bits(), fed_back.to_bits());
+        assert!(fed_back > 0.0);
+    }
+
+    #[test]
+    fn empty_sets_and_empty_fleets_are_rejected() {
+        let cache = SurfaceCache::default();
+        let err = run_set(
+            &ScenarioSet { scenarios: vec![] },
+            &cache,
+            &ExecutorConfig::serial(),
+        )
+        .unwrap_err();
+        assert!(err.contains("empty"));
+        let err = run_set(
+            &ScenarioSet::single(base()),
+            &cache,
+            &ExecutorConfig {
+                fleet: vec![],
+                ..ExecutorConfig::serial()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("fleet"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # hddm-scenarios — batched multi-calibration experiment runner
+//!
+//! The paper solves *one* calibrated OLG economy per run. This crate turns
+//! the solver into a scenario engine in the spirit of GPU-accelerated
+//! simulation-optimization fleets: define a family of counterfactuals
+//! (calibration overrides, shock/Markov variants, box-policy reforms,
+//! refinement + solver settings), batch them through the time-iteration
+//! driver over the simulated heterogeneous fleet, and reuse solved policy
+//! surfaces across nearby scenarios instead of restarting every solve from
+//! the constant steady-state guess.
+//!
+//! * [`scenario`] — the [`Scenario`] type plus [`ScenarioSet`] builders
+//!   for cartesian grid sweeps and seeded Monte-Carlo sweeps over
+//!   [`hddm_olg::Calibration`];
+//! * [`hash`] — a deterministic, platform-stable content hash of
+//!   everything that affects a scenario's solution (FNV-1a over canonical
+//!   little-endian bit patterns), the cache key;
+//! * [`cache`] — the content-addressed policy-surface cache: solved
+//!   [`hddm_core::PolicySet`] rows flattened through the `hddm_compress`
+//!   pipeline ([`hddm_core::StateRecord`]), exact-hit reuse, and
+//!   nearest-neighbour warm starts projected onto the new scenario's
+//!   domain box;
+//! * [`executor`] — the batch executor: per-scenario cost estimates
+//!   (fed back from measured costs of completed scenarios), fleet
+//!   assignment via [`hddm_cluster::hetero::schedule_with_map`], and
+//!   host-side execution through [`hddm_sched::parallel_for_init`];
+//! * [`report`] — per-scenario and fleet-level diagnostics
+//!   ([`ScenarioReport`], [`SweepReport`]) serialized to JSON through the
+//!   serde shim (bit-exact `f64`, the checkpoint convention).
+//!
+//! ```
+//! use hddm_scenarios::{ExecutorConfig, Scenario, ScenarioSet, SurfaceCache, Knob};
+//! use hddm_olg::Calibration;
+//!
+//! let base = Scenario::from_calibration("demo", Calibration::small(4, 3, 2, 0.03));
+//! let set = ScenarioSet::grid(&base, &[(Knob::Beta, vec![0.94, 0.95])]).unwrap();
+//! let cache = SurfaceCache::default();
+//! let report = hddm_scenarios::run_set(&set, &cache, &ExecutorConfig::serial()).unwrap();
+//! assert!(report.all_converged());
+//! assert_eq!(report.scenarios.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod hash;
+pub mod report;
+pub mod scenario;
+
+pub use cache::{CacheStats, CachedSurface, Lookup, ShapeKey, SurfaceCache};
+pub use executor::{run_set, run_single, ExecutorConfig};
+pub use hash::{fingerprint, fingerprint_distance, scenario_hash, ScenarioHasher};
+pub use report::{CacheKind, FleetSummary, ScenarioReport, SweepReport};
+pub use scenario::{Knob, Scenario, ScenarioSet, SolveSettings};

@@ -1,0 +1,222 @@
+//! Sweep diagnostics: per-scenario solve telemetry plus fleet-level
+//! scheduling summaries, serialized to JSON through the serde shim
+//! (bit-exact `f64`, the checkpoint convention).
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use hddm_cluster::ScheduleResult;
+
+/// How a scenario's solve interacted with the policy-surface cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheKind {
+    /// Solved from the constant steady-state guess.
+    Cold,
+    /// Warm started from a nearby cached surface.
+    Warm,
+    /// Identical scenario already solved; surface reused verbatim.
+    Exact,
+}
+
+impl CacheKind {
+    /// The JSON/display spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheKind::Cold => "cold",
+            CacheKind::Warm => "warm",
+            CacheKind::Exact => "exact",
+        }
+    }
+}
+
+impl std::fmt::Display for CacheKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Manual serde impls: the offline serde_derive shim only expands named
+// structs, so the enum serializes as its display string by hand.
+impl Serialize for CacheKind {
+    fn serialize_json(&self, out: &mut String) {
+        serde::write_json_string(self.as_str(), out);
+    }
+}
+
+impl Deserialize for CacheKind {
+    fn deserialize_json(v: &serde::value::Value) -> Result<Self, String> {
+        match String::deserialize_json(v)?.as_str() {
+            "cold" => Ok(CacheKind::Cold),
+            "warm" => Ok(CacheKind::Warm),
+            "exact" => Ok(CacheKind::Exact),
+            other => Err(format!("unknown cache kind {other:?}")),
+        }
+    }
+}
+
+/// One scenario's solve telemetry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario display name.
+    pub name: String,
+    /// Deterministic content hash (the cache key).
+    pub hash: u64,
+    /// Time-iteration steps executed (0 for an exact cache hit).
+    pub steps: usize,
+    /// Whether the final sup policy change beat the tolerance.
+    pub converged: bool,
+    /// Final `‖p − pnext‖_∞`.
+    pub final_sup_change: f64,
+    /// Point solves that fell back after solver failure, summed over
+    /// steps.
+    pub solver_failures: usize,
+    /// Total grid points of the final policy (summed over states).
+    pub grid_points: usize,
+    /// Wall-clock seconds for this scenario.
+    pub wall_seconds: f64,
+    /// Cache interaction.
+    pub cache: CacheKind,
+    /// Hash of the cached scenario a warm start came from (`None` for
+    /// cold solves and exact hits).
+    pub warm_source: Option<u64>,
+    /// Name of the fleet worker the scenario was assigned to.
+    pub worker: String,
+}
+
+/// Fleet-level scheduling summary (one simulated execution of the
+/// per-scenario costs over the heterogeneous worker fleet).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Worker display names, aligned with the schedule's per-worker
+    /// vectors.
+    pub workers: Vec<String>,
+    /// Makespan / busy / task-count telemetry.
+    pub schedule: ScheduleResult,
+    /// Load imbalance: max over workers of busy seconds divided by the
+    /// mean (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl FleetSummary {
+    /// Bundles a schedule with its worker names, deriving the imbalance.
+    pub fn new(workers: Vec<String>, schedule: ScheduleResult) -> FleetSummary {
+        let n = schedule.busy.len().max(1) as f64;
+        let mean = schedule.busy.iter().sum::<f64>() / n;
+        let max = schedule.busy.iter().cloned().fold(0.0, f64::max);
+        let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+        FleetSummary {
+            workers,
+            schedule,
+            imbalance,
+        }
+    }
+}
+
+/// The complete record of one sweep: every scenario's telemetry, the
+/// planned (estimated-cost) and replayed (measured-cost) fleet
+/// schedules, and cache totals.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Per-scenario reports, in scenario-set order.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Fleet schedule computed from the pre-run cost estimates.
+    pub planned: FleetSummary,
+    /// Fleet schedule replayed with the measured per-scenario costs.
+    pub replayed: FleetSummary,
+    /// Exact cache hits in this sweep.
+    pub exact_hits: usize,
+    /// Warm starts in this sweep.
+    pub warm_starts: usize,
+    /// Cold solves in this sweep.
+    pub cold_solves: usize,
+    /// Host wall-clock seconds for the whole sweep.
+    pub total_wall_seconds: f64,
+}
+
+impl SweepReport {
+    /// Whether every scenario converged.
+    pub fn all_converged(&self) -> bool {
+        self.scenarios.iter().all(|s| s.converged)
+    }
+
+    /// Serializes to JSON text.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("sweep report serialization cannot fail")
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a report back from JSON text.
+    pub fn from_json(text: &str) -> Result<SweepReport, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hddm_cluster::{mixed_fleet, schedule, straggler_costs, Assignment};
+
+    fn summary() -> FleetSummary {
+        let fleet = mixed_fleet(1, 1);
+        let costs = straggler_costs(32, 0.05, 0.5, 5);
+        let s = schedule(&fleet, &costs, Assignment::WorkStealing { chunk: 2 });
+        FleetSummary::new(fleet.iter().map(|w| w.name.clone()).collect(), s)
+    }
+
+    #[test]
+    fn sweep_report_roundtrips_through_json() {
+        let report = SweepReport {
+            scenarios: vec![ScenarioReport {
+                name: "demo/beta=0.95".into(),
+                hash: 0xDEAD_BEEF_CAFE_F00D,
+                steps: 12,
+                converged: true,
+                final_sup_change: 3.25e-7,
+                solver_failures: 0,
+                grid_points: 82,
+                wall_seconds: 0.125,
+                cache: CacheKind::Warm,
+                warm_source: Some(42),
+                worker: "daint-0".into(),
+            }],
+            planned: summary(),
+            replayed: summary(),
+            exact_hits: 0,
+            warm_starts: 1,
+            cold_solves: 0,
+            total_wall_seconds: 0.25,
+        };
+        let json = report.to_json();
+        let back = SweepReport::from_json(&json).unwrap();
+        assert_eq!(back.scenarios.len(), 1);
+        let s = &back.scenarios[0];
+        assert_eq!(s.hash, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(s.cache, CacheKind::Warm);
+        assert_eq!(s.warm_source, Some(42));
+        assert_eq!(s.final_sup_change.to_bits(), 3.25e-7f64.to_bits());
+        assert_eq!(back.planned.workers, report.planned.workers);
+        assert_eq!(
+            back.planned.schedule.makespan.to_bits(),
+            report.planned.schedule.makespan.to_bits()
+        );
+        assert!(back.all_converged());
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean_busy() {
+        let s = ScheduleResult {
+            makespan: 4.0,
+            busy: vec![4.0, 2.0],
+            tasks: vec![8, 4],
+            idle_fraction: 0.25,
+        };
+        let f = FleetSummary::new(vec!["a".into(), "b".into()], s);
+        assert!((f.imbalance - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property and golden tests of the scenario content hash: equal
+//! scenarios hash equal, perturbed scenarios hash differently, and the
+//! digest is stable across runs, processes, and builds (FNV-1a over
+//! canonical bit patterns — no seeded hashers anywhere).
+
+use proptest::prelude::*;
+
+use hddm_olg::Calibration;
+use hddm_scenarios::{fingerprint, fingerprint_distance, scenario_hash, Knob, Scenario};
+
+/// A scenario fully determined by four sweep parameters.
+fn scenario_from(beta: f64, gamma: f64, delta: f64, rho: f64) -> Scenario {
+    let mut s = Scenario::from_calibration("prop", Calibration::small(5, 3, 2, 0.03));
+    Knob::Beta.apply(&mut s, beta).unwrap();
+    Knob::Gamma.apply(&mut s, gamma).unwrap();
+    Knob::Depreciation.apply(&mut s, delta).unwrap();
+    Knob::Persistence.apply(&mut s, rho).unwrap();
+    s
+}
+
+proptest! {
+    // Cases and RNG seed pinned: CI explores the identical scenario
+    // population every run, so a failure reproduces locally verbatim.
+    #![proptest_config(ProptestConfig::with_cases(96).with_rng_seed(0x5CEA_0002))]
+
+    /// Hash is a pure function of the scenario content: rebuilding the
+    /// identical scenario (different name, different thread budget)
+    /// yields the identical digest.
+    #[test]
+    fn equal_scenarios_hash_equal(
+        beta in 0.90f64..0.97,
+        gamma in 1.5f64..3.0,
+        delta in 0.05f64..0.12,
+        rho in 0.5f64..0.95,
+    ) {
+        let a = scenario_from(beta, gamma, delta, rho);
+        let mut b = scenario_from(beta, gamma, delta, rho);
+        b.name = "renamed-but-identical".into();
+        b.solve.solver_threads = 7;
+        prop_assert_eq!(scenario_hash(&a), scenario_hash(&b));
+        prop_assert_eq!(fingerprint_distance(&fingerprint(&a), &fingerprint(&b)), 0.0);
+    }
+
+    /// Any admissible perturbation of a solution-relevant parameter
+    /// changes the digest (no silent cache aliasing between different
+    /// economies).
+    #[test]
+    fn perturbed_scenarios_hash_differently(
+        beta in 0.90f64..0.96,
+        eps in 1e-9f64..1e-3,
+    ) {
+        let a = scenario_from(beta, 2.0, 0.08, 0.8);
+        let b = scenario_from(beta + eps, 2.0, 0.08, 0.8);
+        prop_assert_ne!(scenario_hash(&a), scenario_hash(&b));
+
+        let mut c = scenario_from(beta, 2.0, 0.08, 0.8);
+        c.solve.tolerance *= 1.0 + eps;
+        prop_assert_ne!(scenario_hash(&a), scenario_hash(&c));
+
+        let mut d = scenario_from(beta, 2.0, 0.08, 0.8);
+        d.box_policy.capital_span += eps;
+        prop_assert_ne!(scenario_hash(&a), scenario_hash(&d));
+    }
+
+    /// The digest of a scenario is reproducible within one process run
+    /// (hashing twice is bit-identical — no interior mutation).
+    #[test]
+    fn hashing_is_idempotent(
+        beta in 0.90f64..0.97,
+        rho in 0.5f64..0.95,
+    ) {
+        let s = scenario_from(beta, 2.0, 0.08, rho);
+        prop_assert_eq!(scenario_hash(&s), scenario_hash(&s));
+    }
+}
+
+/// Golden digests: these exact values were produced by the FNV-1a
+/// canonical encoding at the time the cache format was introduced. If
+/// this test fails, the scenario hash function changed — which silently
+/// invalidates every cached policy surface. Change the encoding
+/// deliberately or not at all.
+#[test]
+fn golden_hashes_are_stable_across_runs_and_builds() {
+    let golden: [(Scenario, u64); 3] = [
+        (scenario_from(0.95, 2.0, 0.08, 0.8), GOLDEN_BASE),
+        (scenario_from(0.96, 2.5, 0.1, 0.7), GOLDEN_ALT),
+        (
+            {
+                let mut s = scenario_from(0.95, 2.0, 0.08, 0.8);
+                s.solve.refine_epsilon = Some(1e-3);
+                s
+            },
+            GOLDEN_REFINED,
+        ),
+    ];
+    for (scenario, want) in golden {
+        let got = scenario_hash(&scenario);
+        assert_eq!(
+            got, want,
+            "golden hash drifted for {:?}: got {got:#018x}, pinned {want:#018x}",
+            scenario.name
+        );
+    }
+}
+
+const GOLDEN_BASE: u64 = 0xc08d_db15_36e8_d884;
+const GOLDEN_ALT: u64 = 0x65e5_f4ed_4954_f290;
+const GOLDEN_REFINED: u64 = 0x3a9f_2a19_d191_f77d;

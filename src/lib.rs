@@ -21,6 +21,7 @@
 //! | [`sched`] | `hddm-sched` | work-stealing + hybrid dispatch |
 //! | [`olg`] | `hddm-olg` | the stochastic OLG economy |
 //! | [`core`] | `hddm-core` | the time-iteration driver |
+//! | [`scenarios`] | `hddm-scenarios` | batched multi-calibration sweeps + policy-surface cache |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction inventory.
@@ -50,5 +51,6 @@ pub use hddm_core as core;
 pub use hddm_gpu as gpu;
 pub use hddm_kernels as kernels;
 pub use hddm_olg as olg;
+pub use hddm_scenarios as scenarios;
 pub use hddm_sched as sched;
 pub use hddm_solver as solver;
