@@ -7,16 +7,22 @@
 //! cargo run --release -p hddm-bench --bin scenarios -- --demo
 //! cargo run --release -p hddm-bench --bin scenarios -- --demo \
 //!     --lifespan 6 --work-years 4 --mc 8 --threads 4 --json sweep.json
+//! # Persistent cache: the second run restores every surface from disk
+//! # and performs zero time-iteration steps.
+//! cargo run --release -p hddm-bench --bin scenarios -- --demo --cache-dir /tmp/hddm-cache
+//! cargo run --release -p hddm-bench --bin scenarios -- --demo --cache-dir /tmp/hddm-cache \
+//!     --expect-all-exact
 //! ```
 //!
-//! Exits non-zero if any scenario fails to converge (the CI smoke
-//! contract).
+//! Exits non-zero if any scenario fails to converge, or — with
+//! `--expect-all-exact` — if any scenario was not served as a zero-step
+//! exact cache hit (the CI smoke contract for the persistent cache).
 
 use std::process::ExitCode;
 
 use hddm_cluster::{mixed_fleet, Assignment};
 use hddm_scenarios::{
-    run_set, run_single, CacheKind, ExecutorConfig, Knob, ScenarioSet, SurfaceCache,
+    run_set, run_single, CacheKind, EvictionPolicy, ExecutorConfig, Knob, ScenarioSet, SurfaceCache,
 };
 
 struct Args {
@@ -25,6 +31,10 @@ struct Args {
     monte_carlo: usize,
     threads: usize,
     json: Option<String>,
+    cache_dir: Option<String>,
+    cache_max_entries: Option<usize>,
+    cache_max_bytes: Option<u64>,
+    expect_all_exact: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +44,10 @@ fn parse_args() -> Result<Args, String> {
         monte_carlo: 0,
         threads: 1,
         json: None,
+        cache_dir: None,
+        cache_max_entries: None,
+        cache_max_bytes: None,
+        expect_all_exact: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,6 +73,22 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--json" => args.json = Some(value("--json")?),
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--cache-max-entries" => {
+                args.cache_max_entries = Some(
+                    value("--cache-max-entries")?
+                        .parse()
+                        .map_err(|e| format!("--cache-max-entries: {e}"))?,
+                )
+            }
+            "--cache-max-bytes" => {
+                args.cache_max_bytes = Some(
+                    value("--cache-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--cache-max-bytes: {e}"))?,
+                )
+            }
+            "--expect-all-exact" => args.expect_all_exact = true,
             other => return Err(format!("unknown flag {other:?} (try --demo)")),
         }
     }
@@ -94,12 +124,23 @@ fn main() -> ExitCode {
         set.scenarios.extend(extra.scenarios);
     }
 
-    let cache = SurfaceCache::default();
     let config = ExecutorConfig {
         fleet: mixed_fleet(2, 2),
         assignment: Assignment::WorkStealing { chunk: 1 },
         threads: args.threads,
+        cache_dir: args.cache_dir.as_ref().map(std::path::PathBuf::from),
+        cache_eviction: EvictionPolicy {
+            max_entries: args.cache_max_entries,
+            max_bytes: args.cache_max_bytes,
+        },
         ..ExecutorConfig::serial()
+    };
+    let cache = match config.open_cache() {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("scenarios: failed to open cache: {e}");
+            return ExitCode::FAILURE;
+        }
     };
 
     println!(
@@ -109,6 +150,13 @@ fn main() -> ExitCode {
         args.work_years,
         args.threads
     );
+    if let Some(dir) = &args.cache_dir {
+        let stats = cache.stats();
+        println!(
+            "persistent cache at {dir}: {} surface(s) indexed, {} byte(s)\n",
+            stats.persisted_entries, stats.persisted_bytes
+        );
+    }
     let report = match run_set(&set, &cache, &config) {
         Ok(report) => report,
         Err(e) => {
@@ -146,6 +194,14 @@ fn main() -> ExitCode {
         "cache: {} cold / {} warm / {} exact; total wall {:.3} s",
         report.cold_solves, report.warm_starts, report.exact_hits, report.total_wall_seconds
     );
+    if args.cache_dir.is_some() {
+        let s = &report.cache_stats;
+        println!(
+            "persistent cache: {} surface(s) on disk ({} bytes), {} disk hit(s), \
+             {} miss(es), {} eviction(s), {} skipped artifact(s)",
+            s.persisted_entries, s.persisted_bytes, s.disk_hits, s.misses, s.evictions, s.skipped
+        );
+    }
 
     // Warm-start demonstration: re-solve one warm-started scenario cold.
     if let Some(warm) = report.scenarios.iter().find(|s| s.cache == CacheKind::Warm) {
@@ -174,6 +230,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("report written to {path}");
+    }
+
+    if args.expect_all_exact {
+        let solved: Vec<&str> = report
+            .scenarios
+            .iter()
+            .filter(|s| s.cache != CacheKind::Exact || s.steps != 0)
+            .map(|s| s.name.as_str())
+            .collect();
+        if !solved.is_empty() {
+            eprintln!(
+                "scenarios: --expect-all-exact violated: {} of {} scenarios were \
+                 not zero-step exact cache hits: {solved:?}",
+                solved.len(),
+                report.scenarios.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "persistent-cache contract holds: all {} scenarios served as zero-step \
+             exact hits",
+            report.scenarios.len()
+        );
     }
 
     if !report.all_converged() {

@@ -69,9 +69,66 @@ impl StateRecord {
         }
     }
 
+    /// Checks the structural invariants [`StateRecord::restore`] relies
+    /// on, without panicking — the guard that lets records arriving from
+    /// untrusted storage (the persistent policy-surface cache) be skipped
+    /// with a warning instead of aborting the process. Mirrors the
+    /// assertions in [`CompressedGrid::from_raw_parts`] plus the surplus
+    /// length check.
+    pub fn validate(&self, dim: usize, ndofs: usize) -> Result<(), String> {
+        if dim < 1 || ndofs < 1 {
+            return Err(format!("dim {dim} / ndofs {ndofs} must be positive"));
+        }
+        if self.nfreq < 1 {
+            return Err("nfreq must be positive".into());
+        }
+        match self.xps.first() {
+            Some(&(0, 0, 0)) => {}
+            other => return Err(format!("xps[0] must be the sentinel, got {other:?}")),
+        }
+        if !self.chains.len().is_multiple_of(self.nfreq) {
+            return Err(format!(
+                "chains length {} not a multiple of nfreq {}",
+                self.chains.len(),
+                self.nfreq
+            ));
+        }
+        let nno = self.chains.len() / self.nfreq;
+        if self.order.len() != nno {
+            return Err(format!(
+                "order length {} does not match nno {nno}",
+                self.order.len()
+            ));
+        }
+        let mut seen = vec![false; nno];
+        for &o in &self.order {
+            if (o as usize) >= nno || std::mem::replace(&mut seen[o as usize], true) {
+                return Err("order is not a permutation".into());
+            }
+        }
+        for &c in &self.chains {
+            if (c as usize) >= self.xps.len() {
+                return Err(format!("chain entry {c} out of xps range"));
+            }
+        }
+        for &(index, l, _) in &self.xps[1..] {
+            if (index as usize) >= dim || l < 2 {
+                return Err(format!("invalid xps entry ({index}, {l}, _)"));
+            }
+        }
+        if self.surplus.len() != nno * ndofs {
+            return Err(format!(
+                "surplus length {} does not match nno {nno} × ndofs {ndofs}",
+                self.surplus.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Rebuilds the compressed interpolant. Panics on structural
     /// corruption (the validation lives in
-    /// [`CompressedGrid::from_raw_parts`]).
+    /// [`CompressedGrid::from_raw_parts`]); records from untrusted
+    /// storage should be checked with [`StateRecord::validate`] first.
     pub fn restore(&self, dim: usize, ndofs: usize) -> CompressedState {
         let xps = self
             .xps
@@ -260,6 +317,38 @@ mod tests {
         let got = probe(&resumed, &x, 8);
         assert_eq!(got, want, "resumed run diverged from straight run");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_record_validate_catches_structural_corruption() {
+        let model = OlgModel::new(Calibration::small(5, 3, 2, 0.03));
+        let ndofs = model.ndofs();
+        let dim = model.dim();
+        let ti = TimeIteration::new(OlgStep::new(model), config(1));
+        let good = StateRecord::capture(ti.policy.states.state(0));
+        assert_eq!(good.validate(dim, ndofs), Ok(()));
+
+        let mut bad = good.clone();
+        bad.surplus.pop(); // truncated payload
+        assert!(bad.validate(dim, ndofs).unwrap_err().contains("surplus"));
+
+        let mut bad = good.clone();
+        bad.xps[0] = (1, 2, 3); // missing sentinel
+        assert!(bad.validate(dim, ndofs).unwrap_err().contains("sentinel"));
+
+        let mut bad = good.clone();
+        bad.order[0] = u32::MAX; // not a permutation
+        assert!(bad
+            .validate(dim, ndofs)
+            .unwrap_err()
+            .contains("permutation"));
+
+        let mut bad = good.clone();
+        bad.chains[0] = u32::MAX; // dangling chain reference
+        assert!(bad.validate(dim, ndofs).unwrap_err().contains("xps range"));
+
+        // The record itself is fine but the claimed shape is not.
+        assert!(good.validate(dim + 7, ndofs).is_err() || good.validate(dim, ndofs + 1).is_err());
     }
 
     #[test]

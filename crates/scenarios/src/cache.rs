@@ -15,8 +15,11 @@
 //! back from actual runs of nearby scenarios).
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
 
 use hddm_asg::{hierarchize, regular_grid, BoxDomain};
 use hddm_compress::CompressedGrid;
@@ -25,11 +28,12 @@ use hddm_kernels::{CompressedState, KernelKind};
 use hddm_olg::PolicyOracle;
 
 use crate::hash::fingerprint_distance;
+use crate::persist::{EvictionPolicy, Store};
 
 /// The state-space shape a cached surface was solved on. Warm starts
 /// require an exact shape match: a surface over a different
 /// dimensionality or state count is not even interpretable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ShapeKey {
     /// Continuous dimensionality `d`.
     pub dim: usize,
@@ -87,27 +91,48 @@ pub enum Lookup {
     Miss,
 }
 
-/// Cache telemetry counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Cache telemetry counters — in-memory traffic plus, when a persistent
+/// backing directory is attached, the on-disk store's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Entries currently stored.
+    /// Entries currently held in memory.
     pub entries: usize,
-    /// Exact-hash hits served.
+    /// Surfaces currently persisted in the backing directory (0 for a
+    /// purely in-memory cache).
+    pub persisted_entries: usize,
+    /// Total bytes of the persisted record files.
+    pub persisted_bytes: u64,
+    /// Exact-hash hits served (from memory or disk).
     pub exact_hits: usize,
-    /// Warm-start hits served.
+    /// Warm-start hits served (from memory or disk).
     pub warm_hits: usize,
     /// Lookups that found nothing usable.
     pub misses: usize,
+    /// Hits whose surface was lazily restored from the backing directory
+    /// (a subset of `exact_hits + warm_hits`).
+    pub disk_hits: usize,
+    /// Persisted surfaces evicted by the size policy.
+    pub evictions: usize,
+    /// Corrupt, truncated, or version-mismatched persisted artifacts
+    /// skipped with a warning.
+    pub skipped: usize,
 }
 
 /// The shared, thread-safe surface cache. Lookup order over candidates is
 /// insertion order, so concurrent sweeps stay deterministic given a
 /// deterministic execution order.
+///
+/// Optionally backed by a persistent cache directory (see
+/// [`SurfaceCache::open`] and [`SurfaceCache::persist_to`]): the on-disk
+/// index is consulted on misses, hit surfaces are lazily restored from
+/// their record files and promoted into memory, and every deposit is
+/// written through atomically.
 pub struct SurfaceCache {
     inner: Mutex<Inner>,
     exact_hits: AtomicUsize,
     warm_hits: AtomicUsize,
     misses: AtomicUsize,
+    disk_hits: AtomicUsize,
     /// Maximum fingerprint distance a warm start may bridge.
     warm_radius: f64,
 }
@@ -118,6 +143,47 @@ struct Inner {
     /// nearest-neighbour searches (`HashMap` iteration order is seeded
     /// per-process and would make warm-start choices irreproducible).
     order: Vec<u64>,
+    /// Persistent backing store, when attached.
+    store: Option<Store>,
+}
+
+impl Inner {
+    /// Loads `hash` from the backing store (if any) and promotes it into
+    /// the in-memory map. `None` when there is no store, the hash is not
+    /// persisted, or its record file is corrupt (skipped with a warning
+    /// inside the store).
+    fn promote_from_disk(&mut self, hash: u64) -> Option<Arc<CachedSurface>> {
+        let surface = self.store.as_mut()?.load(hash)?;
+        let arc = Arc::new(surface);
+        if self.by_hash.insert(hash, Arc::clone(&arc)).is_none() {
+            self.order.push(hash);
+        }
+        Some(arc)
+    }
+
+    /// The nearest persisted same-shape neighbour within `radius` that is
+    /// not already in memory, per the manifest index alone (no file I/O).
+    /// Shared by the warm-start lookup and cost estimation so both always
+    /// pick the same neighbour.
+    fn best_disk_candidate(
+        &self,
+        shape: ShapeKey,
+        fingerprint: &[f64],
+        radius: f64,
+    ) -> Option<(f64, &crate::persist::ManifestEntry)> {
+        let store = self.store.as_ref()?;
+        let mut best: Option<(f64, &crate::persist::ManifestEntry)> = None;
+        for entry in store.entries() {
+            if entry.shape != shape || self.by_hash.contains_key(&entry.hash.0) {
+                continue;
+            }
+            let d = fingerprint_distance(&entry.fingerprint, fingerprint);
+            if d <= radius && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, entry));
+            }
+        }
+        best
+    }
 }
 
 impl Default for SurfaceCache {
@@ -127,26 +193,94 @@ impl Default for SurfaceCache {
 }
 
 impl SurfaceCache {
-    /// An empty cache accepting warm starts within `warm_radius`
-    /// fingerprint distance (see [`fingerprint_distance`]).
+    /// An empty in-memory cache accepting warm starts within
+    /// `warm_radius` fingerprint distance (see [`fingerprint_distance`]).
     pub fn new(warm_radius: f64) -> SurfaceCache {
         SurfaceCache {
             inner: Mutex::new(Inner {
                 by_hash: HashMap::new(),
                 order: Vec::new(),
+                store: None,
             }),
             exact_hits: AtomicUsize::new(0),
             warm_hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
             warm_radius,
         }
     }
 
+    /// Opens a cache backed by the persistent directory `dir` (created if
+    /// missing) with an unbounded eviction policy. The on-disk index is
+    /// loaded immediately; surfaces are restored lazily on first hit.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<SurfaceCache, String> {
+        SurfaceCache::open_with(dir, EvictionPolicy::default())
+    }
+
+    /// [`SurfaceCache::open`] with an explicit eviction policy.
+    pub fn open_with<P: AsRef<Path>>(
+        dir: P,
+        policy: EvictionPolicy,
+    ) -> Result<SurfaceCache, String> {
+        let cache = SurfaceCache::default();
+        cache.inner.lock().unwrap().store = Some(Store::open(dir, policy)?);
+        Ok(cache)
+    }
+
+    /// Attaches a persistent directory to an existing cache (unbounded
+    /// policy) and flushes every in-memory surface to it. Subsequent
+    /// deposits are written through.
+    pub fn persist_to<P: AsRef<Path>>(&self, dir: P) -> Result<(), String> {
+        self.persist_to_with(dir, EvictionPolicy::default())
+    }
+
+    /// [`SurfaceCache::persist_to`] with an explicit eviction policy.
+    pub fn persist_to_with<P: AsRef<Path>>(
+        &self,
+        dir: P,
+        policy: EvictionPolicy,
+    ) -> Result<(), String> {
+        let mut store = Store::open(dir, policy)?;
+        let mut inner = self.inner.lock().unwrap();
+        let mut dropped = Vec::new();
+        for &hash in &inner.order {
+            dropped.extend(store.insert(&inner.by_hash[&hash])?);
+        }
+        // A hash evicted mid-flush may have been re-deposited by a later
+        // insert of the same flush; only drop from memory what the store
+        // really ended up without.
+        dropped.retain(|&h| !store.entries().any(|e| e.hash.0 == h));
+        for hash in dropped {
+            if inner.by_hash.remove(&hash).is_some() {
+                inner.order.retain(|&h| h != hash);
+            }
+        }
+        inner.store = Some(store);
+        Ok(())
+    }
+
+    /// The persistent directory backing this cache, if one is attached.
+    pub fn cache_dir(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .lock()
+            .unwrap()
+            .store
+            .as_ref()
+            .map(|s| s.dir().to_path_buf())
+    }
+
     /// Looks up a surface for the scenario identified by `hash`,
-    /// `shape`, and `fingerprint`: exact hash match first, then — when
-    /// `allow_warm` — the nearest same-shape neighbour within the warm
-    /// radius. With `allow_warm: false` a non-exact lookup counts as a
+    /// `shape`, and `fingerprint`: exact hash match first (memory, then
+    /// the persistent index), then — when `allow_warm` — the nearest
+    /// same-shape neighbour within the warm radius across memory and
+    /// disk. With `allow_warm: false` a non-exact lookup counts as a
     /// miss, so telemetry matches what the executor actually serves.
+    ///
+    /// An exact-hash candidate whose shape or fingerprint disagrees with
+    /// the request is a hash collision, not a hit: serving it would
+    /// restore an incompatible surface, so it is demoted to a miss (it
+    /// may still qualify as a warm start through the shape-checked
+    /// nearest-neighbour path).
     pub fn lookup(
         &self,
         hash: u64,
@@ -154,34 +288,76 @@ impl SurfaceCache {
         fingerprint: &[f64],
         allow_warm: bool,
     ) -> Lookup {
-        let inner = self.inner.lock().unwrap();
-        if let Some(entry) = inner.by_hash.get(&hash) {
-            self.exact_hits.fetch_add(1, Ordering::Relaxed);
-            return Lookup::Exact(Arc::clone(entry));
+        let mut inner = self.inner.lock().unwrap();
+
+        let exact = match inner.by_hash.get(&hash) {
+            Some(entry) => Some(Arc::clone(entry)),
+            None => {
+                let promoted = inner.promote_from_disk(hash);
+                if promoted.is_some() {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                promoted
+            }
+        };
+        if let Some(entry) = exact {
+            if entry.shape == shape && entry.fingerprint == fingerprint {
+                self.exact_hits.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Exact(entry);
+            }
+            // Collision: fall through to the warm path / miss.
         }
+
         if !allow_warm {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Lookup::Miss;
         }
-        let mut best: Option<(f64, &Arc<CachedSurface>)> = None;
+
+        let mut best_mem: Option<(f64, u64)> = None;
         for h in &inner.order {
             let entry = &inner.by_hash[h];
             if entry.shape != shape {
                 continue;
             }
             let d = fingerprint_distance(&entry.fingerprint, fingerprint);
-            if d <= self.warm_radius && best.as_ref().is_none_or(|(bd, _)| d < *bd) {
-                best = Some((d, entry));
+            if d <= self.warm_radius && best_mem.is_none_or(|(bd, _)| d < bd) {
+                best_mem = Some((d, *h));
             }
         }
-        match best {
-            Some((_, entry)) => {
-                self.warm_hits.fetch_add(1, Ordering::Relaxed);
-                Lookup::Warm(Arc::clone(entry))
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                Lookup::Miss
+
+        // Disk candidates are retried in nearest-first order: a corrupt
+        // record file drops out of the index inside `load`, so the next
+        // scan finds the next-nearest neighbour.
+        loop {
+            let best_disk = inner
+                .best_disk_candidate(shape, fingerprint, self.warm_radius)
+                .map(|(d, entry)| (d, entry.hash.0));
+            let from_disk = match (best_mem, best_disk) {
+                (Some((dm, _)), Some((dd, h))) if dd < dm => Some(h),
+                (None, Some((_, h))) => Some(h),
+                _ => None,
+            };
+            match from_disk {
+                Some(h) => {
+                    if let Some(entry) = inner.promote_from_disk(h) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                        return Lookup::Warm(entry);
+                    }
+                    // Corrupt candidate was skipped; rescan.
+                }
+                None => {
+                    return match best_mem {
+                        Some((_, h)) => {
+                            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                            Lookup::Warm(Arc::clone(&inner.by_hash[&h]))
+                        }
+                        None => {
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            Lookup::Miss
+                        }
+                    };
+                }
             }
         }
     }
@@ -189,7 +365,10 @@ impl SurfaceCache {
     /// Deposits a solved policy surface, flattening each state's
     /// compressed interpolant to a [`StateRecord`]. Last writer wins on
     /// hash collisions of identical scenarios (the surfaces are
-    /// interchangeable by construction).
+    /// interchangeable by construction). With a persistent store
+    /// attached, the surface is written through atomically and the
+    /// eviction policy is applied; surfaces evicted from disk are dropped
+    /// from memory too, so the two tiers stay consistent.
     #[allow(clippy::too_many_arguments)]
     pub fn store_policy(
         &self,
@@ -204,7 +383,7 @@ impl SurfaceCache {
         let records = (0..policy.states.num_states())
             .map(|z| StateRecord::capture(policy.states.state(z)))
             .collect();
-        let surface = CachedSurface {
+        let surface = Arc::new(CachedSurface {
             hash,
             shape,
             fingerprint,
@@ -214,16 +393,38 @@ impl SurfaceCache {
             steps,
             final_sup_change,
             cost_seconds,
-        };
+        });
         let mut inner = self.inner.lock().unwrap();
-        if inner.by_hash.insert(hash, Arc::new(surface)).is_none() {
+        if inner.by_hash.insert(hash, Arc::clone(&surface)).is_none() {
             inner.order.push(hash);
+        }
+        let Inner {
+            by_hash,
+            order,
+            store,
+        } = &mut *inner;
+        if let Some(store) = store {
+            match store.insert(&surface) {
+                Ok(evicted) => {
+                    for h in evicted {
+                        if by_hash.remove(&h).is_some() {
+                            order.retain(|&x| x != h);
+                        }
+                    }
+                }
+                Err(e) => eprintln!(
+                    "hddm-scenarios: warning: failed to persist surface \
+                     {hash:016x} ({e}); keeping it in memory only"
+                ),
+            }
         }
     }
 
-    /// The measured cost of the nearest same-shape cached scenario, if
-    /// any lies within the warm radius — the feedback path from executed
-    /// scenarios into the next sweep's fleet assignment.
+    /// The measured cost of the nearest same-shape cached scenario —
+    /// in memory or in the persistent index — if any lies within the warm
+    /// radius. This is the feedback path from executed scenarios into the
+    /// next sweep's fleet assignment; persisted costs make it survive
+    /// process restarts.
     pub fn estimated_cost(&self, shape: ShapeKey, fingerprint: &[f64]) -> Option<f64> {
         let inner = self.inner.lock().unwrap();
         let mut best: Option<(f64, f64)> = None;
@@ -237,19 +438,79 @@ impl SurfaceCache {
                 best = Some((d, entry.cost_seconds));
             }
         }
+        if let Some((d, entry)) = inner.best_disk_candidate(shape, fingerprint, self.warm_radius) {
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, entry.cost_seconds));
+            }
+        }
         best.map(|(_, cost)| cost)
     }
 
     /// Telemetry snapshot.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        let (persisted_entries, persisted_bytes, evictions, skipped) = match &inner.store {
+            Some(store) => (
+                store.len(),
+                store.total_bytes(),
+                store.evictions(),
+                store.skipped(),
+            ),
+            None => (0, 0, 0, 0),
+        };
         CacheStats {
-            entries: self.inner.lock().unwrap().order.len(),
+            entries: inner.order.len(),
+            persisted_entries,
+            persisted_bytes,
             exact_hits: self.exact_hits.load(Ordering::Relaxed),
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            evictions,
+            skipped,
         }
     }
 }
+
+/// Why a cached surface could not be projected onto a target domain box.
+/// Surfaces arriving from a persistent directory are data, not code:
+/// incompatibilities must surface as errors the executor can catch (and
+/// fall back to a cold solve), never as panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProjectionError {
+    /// The target box dimensionality differs from the cached surface's.
+    DimensionMismatch {
+        /// Dimensionality of the cached surface's domain.
+        cached: usize,
+        /// Dimensionality of the requested target box (lo/hi lengths).
+        target_lo: usize,
+        /// Length of the target upper-bound vector.
+        target_hi: usize,
+    },
+    /// The cached surface has no discrete states to project.
+    EmptySurface,
+}
+
+impl std::fmt::Display for ProjectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProjectionError::DimensionMismatch {
+                cached,
+                target_lo,
+                target_hi,
+            } => write!(
+                f,
+                "projection dimension mismatch: cached surface is {cached}-dimensional, \
+                 target box is {target_lo}/{target_hi}"
+            ),
+            ProjectionError::EmptySurface => {
+                write!(f, "cached surface has no discrete states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProjectionError {}
 
 /// Projects a cached policy surface onto a new scenario's domain box:
 /// tabulates the cached interpolant (clamped into its own box, the
@@ -262,9 +523,18 @@ pub fn project_policy(
     target_hi: &[f64],
     start_level: u8,
     kernel: KernelKind,
-) -> PolicySet {
+) -> Result<PolicySet, ProjectionError> {
     let dim = cached.domain.dim();
-    assert_eq!(target_lo.len(), dim, "projection dimension mismatch");
+    if target_lo.len() != dim || target_hi.len() != dim {
+        return Err(ProjectionError::DimensionMismatch {
+            cached: dim,
+            target_lo: target_lo.len(),
+            target_hi: target_hi.len(),
+        });
+    }
+    if cached.states.num_states() == 0 {
+        return Err(ProjectionError::EmptySurface);
+    }
     let ndofs = cached.states.state(0).ndofs;
     let target = BoxDomain::new(target_lo.to_vec(), target_hi.to_vec());
     let grid = regular_grid(dim, start_level);
@@ -282,7 +552,7 @@ pub fn project_policy(
             CompressedState::from_parts(cg, reordered, ndofs)
         })
         .collect();
-    PolicySet::new(states, target)
+    Ok(PolicySet::new(states, target))
 }
 
 #[cfg(test)]
@@ -402,7 +672,8 @@ mod tests {
         // function on the whole target box.
         let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
         let cached = linear_policy(&domain, 2.0, -1.0);
-        let projected = project_policy(&cached, &[0.2, 0.1], &[0.8, 0.9], 3, KernelKind::X86);
+        let projected =
+            project_policy(&cached, &[0.2, 0.1], &[0.8, 0.9], 3, KernelKind::X86).unwrap();
         let mut oracle = projected.oracle(KernelKind::X86);
         let mut out = [0.0];
         for probe in [[0.25, 0.3], [0.5, 0.5], [0.75, 0.85]] {
@@ -414,6 +685,75 @@ mod tests {
                 out[0]
             );
         }
+    }
+
+    #[test]
+    fn exact_hash_collisions_are_demoted_to_misses() {
+        // Same hash, incompatible shape or fingerprint: serving the entry
+        // as an exact hit would restore an unusable surface. The lookup
+        // must fall through instead of trusting the bare hash.
+        let cache = SurfaceCache::new(0.05);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 2.0);
+        cache.store_policy(77, shape(), vec![0.95, 2.0], &policy, 9, 1e-8, 0.5);
+
+        // Colliding hash with a different shape: miss, not exact.
+        let other_shape = ShapeKey {
+            dim: 3,
+            ndofs: 1,
+            num_states: 1,
+        };
+        assert!(matches!(
+            cache.lookup(77, other_shape, &[0.95, 2.0], true),
+            Lookup::Miss
+        ));
+        // Colliding hash with a far fingerprint: miss, not exact.
+        assert!(matches!(
+            cache.lookup(77, shape(), &[0.5, 2.0], true),
+            Lookup::Miss
+        ));
+        // Colliding hash with a *near* (but unequal) fingerprint: the
+        // shape-checked nearest-neighbour path may still serve it as a
+        // warm start — never as exact.
+        match cache.lookup(77, shape(), &[0.951, 2.0], true) {
+            Lookup::Warm(s) => assert_eq!(s.hash, 77),
+            other => panic!("expected warm, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.exact_hits, 0);
+        assert_eq!(stats.warm_hits, 1);
+        assert_eq!(stats.misses, 2);
+
+        // The genuine exact lookup still works.
+        assert!(matches!(
+            cache.lookup(77, shape(), &[0.95, 2.0], true),
+            Lookup::Exact(_)
+        ));
+    }
+
+    #[test]
+    fn projection_rejects_incompatible_surfaces_without_panicking() {
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let cached = linear_policy(&domain, 1.0, 0.0);
+        // Wrong target dimensionality: typed error, no assert.
+        let err = project_policy(&cached, &[0.2], &[0.8], 3, KernelKind::X86).unwrap_err();
+        assert_eq!(
+            err,
+            ProjectionError::DimensionMismatch {
+                cached: 2,
+                target_lo: 1,
+                target_hi: 1
+            }
+        );
+        // Mismatched lo/hi lengths are caught too (previously an assert
+        // inside BoxDomain).
+        let err = project_policy(&cached, &[0.2, 0.1], &[0.8], 3, KernelKind::X86).unwrap_err();
+        assert!(matches!(err, ProjectionError::DimensionMismatch { .. }));
+        // Both variants render a diagnostic.
+        assert!(err.to_string().contains("dimension mismatch"));
+        assert!(ProjectionError::EmptySurface
+            .to_string()
+            .contains("no discrete states"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! report carries both the planned schedule (estimates) and the replay
 //! of the measured costs, making the estimate error visible.
 
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -23,12 +24,14 @@ use hddm_sched::{parallel_for_init, PoolConfig};
 use hddm_solver::NewtonOptions;
 
 use crate::cache::{project_policy, Lookup, ShapeKey, SurfaceCache};
-use crate::hash::{fingerprint, scenario_hash};
+use crate::hash::{fingerprint, scenario_hash, HashId};
+use crate::persist::EvictionPolicy;
 use crate::report::{CacheKind, FleetSummary, ScenarioReport, SweepReport};
 use crate::scenario::{Scenario, ScenarioSet};
 
 /// Executor configuration: the simulated fleet the sweep is scheduled
-/// onto, and the host resources it actually runs with.
+/// onto, the host resources it actually runs with, and the (optional)
+/// persistent policy-surface cache directory.
 #[derive(Clone, Debug)]
 pub struct ExecutorConfig {
     /// Simulated heterogeneous fleet the scenarios are assigned to.
@@ -43,6 +46,15 @@ pub struct ExecutorConfig {
     pub kernel: KernelKind,
     /// Whether nearby cached surfaces may seed warm starts.
     pub warm_start: bool,
+    /// Persistent policy-surface cache directory. `None` keeps the cache
+    /// purely in memory; `Some(dir)` makes [`ExecutorConfig::open_cache`]
+    /// load the on-disk index at startup and write every solved surface
+    /// through, so an identical sweep in a later process does zero
+    /// solves.
+    pub cache_dir: Option<PathBuf>,
+    /// Size bounds of the persistent cache (LRU-by-insertion eviction);
+    /// ignored without `cache_dir`.
+    pub cache_eviction: EvictionPolicy,
 }
 
 impl Default for ExecutorConfig {
@@ -55,6 +67,8 @@ impl Default for ExecutorConfig {
                 .unwrap_or(1),
             kernel: KernelKind::Avx2,
             warm_start: true,
+            cache_dir: None,
+            cache_eviction: EvictionPolicy::default(),
         }
     }
 }
@@ -66,6 +80,16 @@ impl ExecutorConfig {
         ExecutorConfig {
             threads: 1,
             ..ExecutorConfig::default()
+        }
+    }
+
+    /// Opens the cache this configuration asks for: persistent (index
+    /// loaded, surfaces lazily restored, deposits written through) when
+    /// `cache_dir` is set, purely in-memory otherwise.
+    pub fn open_cache(&self) -> Result<SurfaceCache, String> {
+        match &self.cache_dir {
+            Some(dir) => SurfaceCache::open_with(dir, self.cache_eviction),
+            None => Ok(SurfaceCache::default()),
         }
     }
 }
@@ -139,7 +163,7 @@ fn solve_one(
             .sum();
         return Ok(ScenarioReport {
             name: scenario.name.clone(),
-            hash,
+            hash: HashId(hash),
             steps: 0,
             converged: true,
             final_sup_change: surface.final_sup_change,
@@ -161,20 +185,31 @@ fn solve_one(
     let dconfig = driver_config(scenario, config.kernel);
 
     let (mut ti, cache_tag, warm_source) = match looked_up {
-        Lookup::Warm(surface) => {
-            let projected = project_policy(
-                &surface.restore_policy(),
-                &step.model.lower,
-                &step.model.upper,
-                scenario.solve.start_level,
-                config.kernel,
-            );
-            (
+        Lookup::Warm(surface) => match project_policy(
+            &surface.restore_policy(),
+            &step.model.lower,
+            &step.model.upper,
+            scenario.solve.start_level,
+            config.kernel,
+        ) {
+            Ok(projected) => (
                 TimeIteration::with_policy(step, dconfig, projected, 0),
                 CacheKind::Warm,
-                Some(surface.hash),
-            )
-        }
+                Some(HashId(surface.hash)),
+            ),
+            Err(e) => {
+                // An incompatible cached surface (possible once surfaces
+                // arrive from disk) must not abort the sweep: fall back
+                // to the cold start the scenario would have had anyway.
+                eprintln!(
+                    "hddm-scenarios: warning: warm start of {:?} from surface \
+                     {} failed ({e}); solving cold",
+                    scenario.name,
+                    HashId(surface.hash)
+                );
+                (TimeIteration::new(step, dconfig), CacheKind::Cold, None)
+            }
+        },
         Lookup::Miss => (TimeIteration::new(step, dconfig), CacheKind::Cold, None),
         Lookup::Exact(_) => unreachable!("exact hits return early"),
     };
@@ -196,7 +231,7 @@ fn solve_one(
     }
     Ok(ScenarioReport {
         name: scenario.name.clone(),
-        hash,
+        hash: HashId(hash),
         steps: reports.len(),
         converged,
         final_sup_change: last.sup_change,
@@ -287,6 +322,7 @@ pub fn run_set(
         scenarios,
         planned: FleetSummary::new(worker_names.clone(), planned),
         replayed: FleetSummary::new(worker_names, replayed),
+        cache_stats: cache.stats(),
         total_wall_seconds,
     })
 }

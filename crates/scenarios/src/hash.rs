@@ -10,10 +10,82 @@
 //! their IEEE bit patterns, and collection lengths are folded before
 //! elements so `[1.0] ++ []` and `[] ++ [1.0]` cannot collide.
 
+use serde::{Deserialize, Serialize};
+
 use crate::scenario::Scenario;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A scenario content hash as it crosses serialization boundaries.
+///
+/// JSON readers outside this workspace parse numbers as `f64`, which is
+/// lossy above 2⁵³ — a silently corrupted cache key. `HashId` therefore
+/// serializes as a fixed-width 16-digit lowercase hex *string* everywhere
+/// a hash enters JSON (reports, the persistent cache manifest, surface
+/// files); legacy numeric encodings are still accepted on the way in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HashId(pub u64);
+
+impl HashId {
+    /// The fixed-width lowercase hex spelling (always 16 digits).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the fixed-width hex spelling produced by [`HashId::to_hex`].
+    pub fn from_hex(text: &str) -> Result<HashId, String> {
+        if text.len() != 16 {
+            return Err(format!(
+                "hash id must be 16 hex digits, got {:?} ({} chars)",
+                text,
+                text.len()
+            ));
+        }
+        u64::from_str_radix(text, 16)
+            .map(HashId)
+            .map_err(|e| format!("invalid hash id {text:?}: {e}"))
+    }
+}
+
+impl std::fmt::Display for HashId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl From<u64> for HashId {
+    fn from(v: u64) -> Self {
+        HashId(v)
+    }
+}
+
+impl From<HashId> for u64 {
+    fn from(v: HashId) -> Self {
+        v.0
+    }
+}
+
+impl Serialize for HashId {
+    fn serialize_json(&self, out: &mut String) {
+        serde::write_json_string(&self.to_hex(), out);
+    }
+}
+
+impl Deserialize for HashId {
+    fn deserialize_json(v: &serde::value::Value) -> Result<Self, String> {
+        match v {
+            serde::value::Value::String(s) => HashId::from_hex(s),
+            // Legacy numeric encoding (pre-hex reports). The shim parses
+            // the source text directly, so this path is still exact.
+            serde::value::Value::Number(text) => text
+                .parse::<u64>()
+                .map(HashId)
+                .map_err(|e| format!("invalid numeric hash id {text:?}: {e}")),
+            other => Err(format!("expected hash id string, found {}", other.kind())),
+        }
+    }
+}
 
 /// An incremental FNV-1a hasher over tagged canonical bytes.
 #[derive(Clone, Debug)]
@@ -148,14 +220,21 @@ pub fn fingerprint(scenario: &Scenario) -> Vec<f64> {
 
 /// Scale-aware distance between two fingerprints:
 /// `max_k |a_k − b_k| / (1 + max(|a_k|, |b_k|))`. Returns `f64::INFINITY`
-/// for mismatched lengths (incomparable scenarios).
+/// for mismatched lengths (incomparable scenarios) and whenever any
+/// component comparison is NaN — `f64::max` would silently drop the NaN
+/// operand, letting a corrupted fingerprint score distance ≈ 0 and win
+/// the nearest-neighbour search.
 pub fn fingerprint_distance(a: &[f64], b: &[f64]) -> f64 {
     if a.len() != b.len() {
         return f64::INFINITY;
     }
     let mut d = 0.0f64;
     for (&x, &y) in a.iter().zip(b) {
-        d = d.max((x - y).abs() / (1.0 + x.abs().max(y.abs())));
+        let component = (x - y).abs() / (1.0 + x.abs().max(y.abs()));
+        if component.is_nan() {
+            return f64::INFINITY;
+        }
+        d = d.max(component);
     }
     d
 }
@@ -225,5 +304,46 @@ mod tests {
         let d = fingerprint_distance(&a, &b);
         assert!(d > 0.0 && d < 0.01, "d = {d}");
         assert_eq!(fingerprint_distance(&a, &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn nan_fingerprints_are_infinitely_far() {
+        // A corrupted (NaN) component must disqualify the candidate, not
+        // vanish inside f64::max and score as a perfect neighbour.
+        assert_eq!(
+            fingerprint_distance(&[f64::NAN, 1.0], &[0.95, 1.0]),
+            f64::INFINITY
+        );
+        assert_eq!(
+            fingerprint_distance(&[0.95, 1.0], &[0.95, f64::NAN]),
+            f64::INFINITY
+        );
+        assert_eq!(
+            fingerprint_distance(&[f64::NAN], &[f64::NAN]),
+            f64::INFINITY
+        );
+        // A clean comparison after a NaN-free prefix still works.
+        assert_eq!(fingerprint_distance(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn hash_ids_roundtrip_as_hex_strings_up_to_u64_max() {
+        use serde::{Deserialize, Serialize};
+        for v in [0u64, 1, 2u64.pow(53) - 1, 2u64.pow(53) + 1, u64::MAX] {
+            let id = HashId(v);
+            let mut json = String::new();
+            id.serialize_json(&mut json);
+            // Fixed-width hex string, never a bare JSON number.
+            assert_eq!(json, format!("{:?}", format!("{v:016x}")), "value {v}");
+            let tree = serde_json::parse(&json).unwrap();
+            let back = HashId::deserialize_json(&tree).unwrap();
+            assert_eq!(back, id, "value {v}");
+        }
+        // Legacy numeric encoding is still accepted exactly.
+        let tree = serde_json::parse(&u64::MAX.to_string()).unwrap();
+        assert_eq!(HashId::deserialize_json(&tree).unwrap(), HashId(u64::MAX));
+        // Garbage is rejected, not misparsed.
+        assert!(HashId::from_hex("xyz").is_err());
+        assert!(HashId::from_hex("00ff").is_err());
     }
 }

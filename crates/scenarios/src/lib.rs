@@ -20,6 +20,11 @@
 //!   pipeline ([`hddm_core::StateRecord`]), exact-hit reuse, and
 //!   nearest-neighbour warm starts projected onto the new scenario's
 //!   domain box;
+//! * [`persist`] — the versioned persistent backing store: a cache
+//!   directory with a `manifest.json` index and one atomically-written
+//!   JSON record per surface, lazy restoration, LRU-by-insertion
+//!   eviction, and corrupt-artifact skipping — run N+1 of the same sweep
+//!   does zero solves;
 //! * [`executor`] — the batch executor: per-scenario cost estimates
 //!   (fed back from measured costs of completed scenarios), fleet
 //!   assignment via [`hddm_cluster::hetero::schedule_with_map`], and
@@ -45,11 +50,13 @@
 pub mod cache;
 pub mod executor;
 pub mod hash;
+pub mod persist;
 pub mod report;
 pub mod scenario;
 
-pub use cache::{CacheStats, CachedSurface, Lookup, ShapeKey, SurfaceCache};
+pub use cache::{CacheStats, CachedSurface, Lookup, ProjectionError, ShapeKey, SurfaceCache};
 pub use executor::{run_set, run_single, ExecutorConfig};
-pub use hash::{fingerprint, fingerprint_distance, scenario_hash, ScenarioHasher};
+pub use hash::{fingerprint, fingerprint_distance, scenario_hash, HashId, ScenarioHasher};
+pub use persist::{EvictionPolicy, ManifestEntry, MANIFEST_FILE, PERSIST_VERSION};
 pub use report::{CacheKind, FleetSummary, ScenarioReport, SweepReport};
 pub use scenario::{Knob, Scenario, ScenarioSet, SolveSettings};

@@ -1,0 +1,459 @@
+//! The persistent, versioned, content-addressed policy-surface store.
+//!
+//! The in-memory [`SurfaceCache`](crate::SurfaceCache) loses every solved
+//! surface at process exit; this module gives it a durable backing
+//! directory so run N+1 of the same sweep does zero solves. Layout:
+//!
+//! ```text
+//! <cache-dir>/
+//!   manifest.json            # version + entry index (insertion order)
+//!   surface-<16-hex>.json    # one record per surface, keyed by hash
+//! ```
+//!
+//! The manifest is the index: one [`ManifestEntry`] per surface with the
+//! hash, state-space shape, parameter fingerprint, and cost metadata —
+//! everything lookups and cost estimation need *without* touching the
+//! record files. Surfaces themselves are loaded lazily on first hit.
+//!
+//! Durability rules:
+//!
+//! * every file (manifest and records) is written atomically — serialized
+//!   to a dot-prefixed temp file in the same directory, then renamed — so
+//!   a crashed sweep never leaves a torn index or a half-written surface;
+//! * an unknown manifest format version is skipped with a warning (the
+//!   store starts empty), never a panic;
+//! * a corrupt or truncated record file is skipped with a warning at load
+//!   time, dropped from the index, and counted in the telemetry;
+//! * eviction is LRU-by-insertion with configurable max-entries and
+//!   max-bytes bounds ([`EvictionPolicy`]), applied on every deposit, so
+//!   the directory provably never exceeds the configured budget.
+//!
+//! Known limitation: record-file reads and writes happen under the
+//! owning cache's mutex, so concurrent sweep threads serialize on disk
+//! restores. Correct, but it leaves lazy-restore parallelism on the
+//! table; moving the I/O outside the lock (clone entry metadata, read,
+//! re-validate, re-lock to insert) is the planned follow-on for the
+//! async serving front-end.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use hddm_core::StateRecord;
+
+use crate::cache::{CachedSurface, ShapeKey};
+use crate::hash::HashId;
+
+/// Current on-disk format version of the manifest and record files.
+pub const PERSIST_VERSION: u32 = 1;
+
+/// The index file name inside a cache directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Size bounds of a persistent store, enforced on every deposit by
+/// evicting the oldest entries first (LRU-by-insertion). `None` means
+/// unbounded in that dimension.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictionPolicy {
+    /// Maximum number of persisted surfaces.
+    pub max_entries: Option<usize>,
+    /// Maximum total bytes of the persisted record files.
+    pub max_bytes: Option<u64>,
+}
+
+/// One surface's row in the manifest index: everything a lookup needs to
+/// decide exact/warm/miss — and a cost estimate — without reading the
+/// record file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Scenario content hash (hex-encoded in JSON).
+    pub hash: HashId,
+    /// State-space shape of the cached surface.
+    pub shape: ShapeKey,
+    /// Parameter fingerprint of the producing scenario.
+    pub fingerprint: Vec<f64>,
+    /// Time-iteration steps the producing solve took.
+    pub steps: usize,
+    /// Measured wall-clock seconds of the producing solve.
+    pub cost_seconds: f64,
+    /// Size of the record file in bytes (the eviction currency).
+    pub bytes: u64,
+    /// Record file name, relative to the cache directory.
+    pub file: String,
+}
+
+/// The parsed manifest (used for reading; writing streams borrowed
+/// entries directly to avoid cloning the index).
+#[derive(Clone, Debug, Deserialize)]
+struct Manifest {
+    version: u32,
+    entries: Vec<ManifestEntry>,
+}
+
+/// The on-disk form of one cached surface (used for reading; writing
+/// streams borrowed fields).
+#[derive(Clone, Debug, Deserialize)]
+struct SurfaceFile {
+    version: u32,
+    hash: HashId,
+    shape: ShapeKey,
+    fingerprint: Vec<f64>,
+    domain_lo: Vec<f64>,
+    domain_hi: Vec<f64>,
+    records: Vec<StateRecord>,
+    steps: usize,
+    final_sup_change: f64,
+    cost_seconds: f64,
+}
+
+fn warn(message: &str) {
+    eprintln!("hddm-scenarios: warning: {message}");
+}
+
+/// Record file name for a hash.
+pub fn surface_file_name(hash: u64) -> String {
+    format!("surface-{}.json", HashId(hash))
+}
+
+/// Writes `text` to `path` atomically: temp file in the same directory,
+/// then rename. The dot-prefixed temp name can never be mistaken for a
+/// record file, and a crash between the two steps leaves the previous
+/// version of `path` intact.
+fn write_atomic(dir: &Path, name: &str, text: &str) -> Result<(), String> {
+    let tmp = dir.join(format!(".tmp-{}-{name}", std::process::id()));
+    let target = dir.join(name);
+    fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, &target).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        format!("rename {} -> {}: {e}", tmp.display(), target.display())
+    })?;
+    Ok(())
+}
+
+/// The persistent backing store of a `SurfaceCache`: a cache directory,
+/// its parsed manifest index, and the eviction policy. All mutation goes
+/// through the owning cache's lock.
+#[derive(Debug)]
+pub(crate) struct Store {
+    dir: PathBuf,
+    policy: EvictionPolicy,
+    entries: Vec<ManifestEntry>,
+    evictions: usize,
+    skipped: usize,
+}
+
+impl Store {
+    /// Opens (or initializes) a cache directory: creates it if missing,
+    /// loads the manifest index, and sweeps leftover temp files from
+    /// crashed writers. An unreadable, unparseable, or version-mismatched
+    /// manifest is skipped with a warning — the store starts empty and
+    /// the index is rewritten at the current version on the next deposit.
+    /// Record files the index does not reference (crash leftovers, or the
+    /// remains of a skipped manifest) are deleted, so they cannot leak
+    /// past the eviction budget forever.
+    pub fn open<P: AsRef<Path>>(dir: P, policy: EvictionPolicy) -> Result<Store, String> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
+
+        let mut store = Store {
+            dir,
+            policy,
+            entries: Vec::new(),
+            evictions: 0,
+            skipped: 0,
+        };
+        let manifest_path = store.dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            match fs::read_to_string(&manifest_path) {
+                Ok(text) => match serde_json::from_str::<Manifest>(&text) {
+                    Ok(manifest) if manifest.version == PERSIST_VERSION => {
+                        store.entries = manifest.entries;
+                    }
+                    Ok(manifest) => {
+                        warn(&format!(
+                            "cache manifest {} has unknown format version {} (expected \
+                             {PERSIST_VERSION}); ignoring {} persisted entr(ies)",
+                            manifest_path.display(),
+                            manifest.version,
+                            manifest.entries.len()
+                        ));
+                        // The now-unreferenced record files are counted
+                        // (and deleted) by the sweep below.
+                        store.skipped += 1;
+                    }
+                    Err(e) => {
+                        warn(&format!(
+                            "corrupt cache manifest {} ({e}); starting empty",
+                            manifest_path.display()
+                        ));
+                        store.skipped += 1;
+                    }
+                },
+                Err(e) => {
+                    warn(&format!(
+                        "unreadable cache manifest {} ({e}); starting empty",
+                        manifest_path.display()
+                    ));
+                    store.skipped += 1;
+                }
+            }
+        }
+
+        // Sweep files the index does not account for: temp files from
+        // crashed writers, and record files orphaned by a crash between
+        // the record write and the manifest write — or by a skipped
+        // manifest above. Without this, unindexed files would accumulate
+        // outside the eviction budget forever.
+        if let Ok(listing) = fs::read_dir(&store.dir) {
+            for entry in listing.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with(".tmp-") {
+                    let _ = fs::remove_file(entry.path());
+                } else if name.starts_with("surface-")
+                    && name.ends_with(".json")
+                    && !store.entries.iter().any(|e| e.file == name)
+                {
+                    warn(&format!("removing unindexed cache record {name}"));
+                    let _ = fs::remove_file(entry.path());
+                    store.skipped += 1;
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of persisted surfaces in the index.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total bytes of the persisted record files per the index.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Entries evicted over this store's lifetime.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Corrupt / version-mismatched artifacts skipped over this store's
+    /// lifetime.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Iterates the index in insertion (= eviction) order.
+    pub fn entries(&self) -> impl Iterator<Item = &ManifestEntry> {
+        self.entries.iter()
+    }
+
+    /// Deposits a surface: writes its record file atomically, updates the
+    /// index, applies the eviction policy, and rewrites the manifest
+    /// atomically. Returns the hashes of any evicted surfaces so the
+    /// in-memory cache can drop them too.
+    pub fn insert(&mut self, surface: &CachedSurface) -> Result<Vec<u64>, String> {
+        let name = surface_file_name(surface.hash);
+        let json = surface_json(surface);
+        let bytes = json.len() as u64;
+        write_atomic(&self.dir, &name, &json)?;
+
+        let entry = ManifestEntry {
+            hash: HashId(surface.hash),
+            shape: surface.shape,
+            fingerprint: surface.fingerprint.clone(),
+            steps: surface.steps,
+            cost_seconds: surface.cost_seconds,
+            bytes,
+            file: name,
+        };
+        // Re-deposits of the same scenario replace in place (last writer
+        // wins, like the in-memory map) and keep their eviction slot.
+        match self.entries.iter_mut().find(|e| e.hash == entry.hash) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+
+        let mut evicted = Vec::new();
+        loop {
+            let over_entries = self
+                .policy
+                .max_entries
+                .is_some_and(|m| self.entries.len() > m);
+            let over_bytes = self
+                .policy
+                .max_bytes
+                .is_some_and(|m| self.total_bytes() > m);
+            if self.entries.is_empty() || !(over_entries || over_bytes) {
+                break;
+            }
+            let gone = self.entries.remove(0);
+            let _ = fs::remove_file(self.dir.join(&gone.file));
+            self.evictions += 1;
+            evicted.push(gone.hash.0);
+        }
+
+        // A budget smaller than a single surface evicts the deposit
+        // itself: the directory bound still holds, but the surface must
+        // not silently vanish from the in-memory tier too — that would
+        // disable all caching. Keep it in memory (exclude it from the
+        // evicted list) and say so.
+        if let Some(pos) = evicted.iter().position(|&h| h == surface.hash) {
+            warn(&format!(
+                "cache budget is too small for a single surface ({bytes} bytes); \
+                 surface {} stays in memory only",
+                HashId(surface.hash)
+            ));
+            evicted.remove(pos);
+        }
+
+        self.write_manifest()?;
+        Ok(evicted)
+    }
+
+    /// Loads the surface for `hash` from disk, validating it end to end
+    /// (format version, hash/shape/fingerprint agreement with the index,
+    /// structural record invariants). A file that fails any check is
+    /// skipped with a warning, dropped from the index, and deleted;
+    /// returns `None` in that case or when the hash is not persisted.
+    pub fn load(&mut self, hash: u64) -> Option<CachedSurface> {
+        let idx = self.entries.iter().position(|e| e.hash.0 == hash)?;
+        let path = self.dir.join(&self.entries[idx].file);
+        match read_surface(&path, &self.entries[idx]) {
+            Ok(surface) => Some(surface),
+            Err(e) => {
+                warn(&format!(
+                    "skipping corrupt cached surface {} ({e})",
+                    path.display()
+                ));
+                let gone = self.entries.remove(idx);
+                let _ = fs::remove_file(self.dir.join(&gone.file));
+                self.skipped += 1;
+                // Best-effort: drop the dead row from the on-disk index
+                // too, so the next process does not rediscover it.
+                if let Err(e) = self.write_manifest() {
+                    warn(&format!("failed to rewrite cache manifest: {e}"));
+                }
+                None
+            }
+        }
+    }
+
+    /// Rewrites the manifest atomically from the in-memory index.
+    fn write_manifest(&self) -> Result<(), String> {
+        let mut out = String::new();
+        out.push('{');
+        serde::write_key("version", &mut out);
+        PERSIST_VERSION.serialize_json(&mut out);
+        out.push(',');
+        serde::write_key("entries", &mut out);
+        self.entries.serialize_json(&mut out);
+        out.push('}');
+        write_atomic(&self.dir, MANIFEST_FILE, &out)
+    }
+}
+
+/// Serializes a surface to its on-disk JSON record (borrowed fields — no
+/// clone of the record rows).
+fn surface_json(surface: &CachedSurface) -> String {
+    let mut out = String::new();
+    out.push('{');
+    serde::write_key("version", &mut out);
+    PERSIST_VERSION.serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("hash", &mut out);
+    HashId(surface.hash).serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("shape", &mut out);
+    surface.shape.serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("fingerprint", &mut out);
+    surface.fingerprint.serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("domain_lo", &mut out);
+    surface.domain_lo.serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("domain_hi", &mut out);
+    surface.domain_hi.serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("records", &mut out);
+    surface.records.serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("steps", &mut out);
+    surface.steps.serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("final_sup_change", &mut out);
+    surface.final_sup_change.serialize_json(&mut out);
+    out.push(',');
+    serde::write_key("cost_seconds", &mut out);
+    surface.cost_seconds.serialize_json(&mut out);
+    out.push('}');
+    out
+}
+
+/// Reads and fully validates one record file against its index row.
+fn read_surface(path: &Path, entry: &ManifestEntry) -> Result<CachedSurface, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let file: SurfaceFile = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    if file.version != PERSIST_VERSION {
+        return Err(format!(
+            "record format version {} (expected {PERSIST_VERSION})",
+            file.version
+        ));
+    }
+    if file.hash != entry.hash {
+        return Err(format!(
+            "record hash {} does not match index hash {}",
+            file.hash, entry.hash
+        ));
+    }
+    if file.shape != entry.shape {
+        return Err("record shape does not match index shape".into());
+    }
+    if file.fingerprint != entry.fingerprint {
+        return Err("record fingerprint does not match index fingerprint".into());
+    }
+    let shape = file.shape;
+    if file.records.len() != shape.num_states {
+        return Err(format!(
+            "{} state records for {} discrete states",
+            file.records.len(),
+            shape.num_states
+        ));
+    }
+    if file.domain_lo.len() != shape.dim || file.domain_hi.len() != shape.dim {
+        return Err(format!(
+            "domain box dims {}/{} do not match shape dim {}",
+            file.domain_lo.len(),
+            file.domain_hi.len(),
+            shape.dim
+        ));
+    }
+    for (lo, hi) in file.domain_lo.iter().zip(&file.domain_hi) {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(format!("degenerate domain box [{lo}, {hi}]"));
+        }
+    }
+    for (z, record) in file.records.iter().enumerate() {
+        record
+            .validate(shape.dim, shape.ndofs)
+            .map_err(|e| format!("state record {z}: {e}"))?;
+    }
+    Ok(CachedSurface {
+        hash: file.hash.0,
+        shape,
+        fingerprint: file.fingerprint,
+        domain_lo: file.domain_lo,
+        domain_hi: file.domain_hi,
+        records: file.records,
+        steps: file.steps,
+        final_sup_change: file.final_sup_change,
+        cost_seconds: file.cost_seconds,
+    })
+}

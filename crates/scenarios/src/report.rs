@@ -9,6 +9,9 @@ use serde::{Deserialize, Serialize};
 
 use hddm_cluster::ScheduleResult;
 
+use crate::cache::CacheStats;
+use crate::hash::HashId;
+
 /// How a scenario's solve interacted with the policy-surface cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CacheKind {
@@ -61,8 +64,10 @@ impl Deserialize for CacheKind {
 pub struct ScenarioReport {
     /// Scenario display name.
     pub name: String,
-    /// Deterministic content hash (the cache key).
-    pub hash: u64,
+    /// Deterministic content hash (the cache key). Serialized as a
+    /// fixed-width hex string: JSON numbers above 2⁵³ lose precision in
+    /// `f64`-based readers, which would corrupt persisted cache keys.
+    pub hash: HashId,
     /// Time-iteration steps executed (0 for an exact cache hit).
     pub steps: usize,
     /// Whether the final sup policy change beat the tolerance.
@@ -80,7 +85,7 @@ pub struct ScenarioReport {
     pub cache: CacheKind,
     /// Hash of the cached scenario a warm start came from (`None` for
     /// cold solves and exact hits).
-    pub warm_source: Option<u64>,
+    pub warm_source: Option<HashId>,
     /// Name of the fleet worker the scenario was assigned to.
     pub worker: String,
 }
@@ -131,6 +136,11 @@ pub struct SweepReport {
     pub warm_starts: usize,
     /// Cold solves in this sweep.
     pub cold_solves: usize,
+    /// Lifetime counters of the cache instance that served the sweep,
+    /// including persisted-store telemetry (disk hits, evictions, skipped
+    /// artifacts). Unlike the per-sweep counts above, these accumulate
+    /// across sweeps sharing the cache.
+    pub cache_stats: CacheStats,
     /// Host wall-clock seconds for the whole sweep.
     pub total_wall_seconds: f64,
 }
@@ -174,7 +184,7 @@ mod tests {
         let report = SweepReport {
             scenarios: vec![ScenarioReport {
                 name: "demo/beta=0.95".into(),
-                hash: 0xDEAD_BEEF_CAFE_F00D,
+                hash: HashId(0xDEAD_BEEF_CAFE_F00D),
                 steps: 12,
                 converged: true,
                 final_sup_change: 3.25e-7,
@@ -182,7 +192,7 @@ mod tests {
                 grid_points: 82,
                 wall_seconds: 0.125,
                 cache: CacheKind::Warm,
-                warm_source: Some(42),
+                warm_source: Some(HashId(42)),
                 worker: "daint-0".into(),
             }],
             planned: summary(),
@@ -190,15 +200,26 @@ mod tests {
             exact_hits: 0,
             warm_starts: 1,
             cold_solves: 0,
+            cache_stats: CacheStats {
+                entries: 1,
+                warm_hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            },
             total_wall_seconds: 0.25,
         };
         let json = report.to_json();
+        // Hashes cross JSON as fixed-width hex strings, never as numbers
+        // an f64-based reader would round above 2^53.
+        assert!(json.contains("\"deadbeefcafef00d\""), "json: {json}");
+        assert!(json.contains("\"000000000000002a\""), "json: {json}");
         let back = SweepReport::from_json(&json).unwrap();
         assert_eq!(back.scenarios.len(), 1);
         let s = &back.scenarios[0];
-        assert_eq!(s.hash, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(s.hash, HashId(0xDEAD_BEEF_CAFE_F00D));
         assert_eq!(s.cache, CacheKind::Warm);
-        assert_eq!(s.warm_source, Some(42));
+        assert_eq!(s.warm_source, Some(HashId(42)));
+        assert_eq!(back.cache_stats, report.cache_stats);
         assert_eq!(s.final_sup_change.to_bits(), 3.25e-7f64.to_bits());
         assert_eq!(back.planned.workers, report.planned.workers);
         assert_eq!(

@@ -1,0 +1,426 @@
+//! Acceptance tests of the persistent policy-surface store: a sweep run
+//! with a cache directory followed by an identical rerun through a
+//! *fresh* cache (the new-process situation) performs zero
+//! time-iteration steps — every surface is an exact hit lazily restored
+//! from disk — and the eviction policy provably bounds the directory to
+//! the configured maximum. Corrupt and version-mismatched artifacts are
+//! skipped with a warning, never a panic.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hddm_cluster::{mixed_fleet, Assignment};
+use hddm_kernels::KernelKind;
+use hddm_olg::{Calibration, PolicyOracle};
+use hddm_scenarios::{
+    persist, run_set, run_single, CacheKind, EvictionPolicy, ExecutorConfig, Knob, Lookup,
+    Scenario, ScenarioSet, SurfaceCache, MANIFEST_FILE,
+};
+
+/// A fresh, collision-free temp directory per test invocation.
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hddm_persist_test_{}_{tag}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> ExecutorConfig {
+    ExecutorConfig {
+        fleet: mixed_fleet(2, 2),
+        assignment: Assignment::WorkStealing { chunk: 1 },
+        threads: 1,
+        ..ExecutorConfig::serial()
+    }
+}
+
+fn base_scenario() -> Scenario {
+    let mut s = Scenario::from_calibration("persist", Calibration::small(4, 3, 2, 0.03));
+    s.solve.tolerance = 1e-6;
+    s.solve.max_steps = 50;
+    s
+}
+
+/// Probes every discrete state of both surfaces at `points` and asserts
+/// bitwise-equal policy evaluations.
+fn assert_policies_bitwise_equal(
+    a: &hddm_scenarios::CachedSurface,
+    b: &hddm_scenarios::CachedSurface,
+    points: &[Vec<f64>],
+) {
+    let pa = a.restore_policy();
+    let pb = b.restore_policy();
+    let mut oa = pa.oracle(KernelKind::X86);
+    let mut ob = pb.oracle(KernelKind::X86);
+    let ndofs = a.shape.ndofs;
+    let mut ra = vec![0.0; ndofs];
+    let mut rb = vec![0.0; ndofs];
+    for z in 0..a.shape.num_states {
+        for x in points {
+            oa.eval(z, x, &mut ra);
+            ob.eval(z, x, &mut rb);
+            for (va, vb) in ra.iter().zip(&rb) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "state {z}, point {x:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn surfaces_roundtrip_through_a_reopened_directory_bitwise() {
+    let dir = temp_cache_dir("roundtrip");
+    let scenario = base_scenario();
+
+    // Solve once into a persistent cache.
+    let first = SurfaceCache::open(&dir).unwrap();
+    let report = run_single(&scenario, &first, &config()).unwrap();
+    assert!(report.converged);
+    assert_eq!(report.cache, CacheKind::Cold);
+    let hash = report.hash.0;
+    let Lookup::Exact(original) = first.lookup(
+        hash,
+        original_shape(&scenario),
+        &hddm_scenarios::fingerprint(&scenario),
+        false,
+    ) else {
+        panic!("stored surface must be an exact hit in its own cache");
+    };
+
+    // The directory now holds a manifest and one record file.
+    assert!(dir.join(MANIFEST_FILE).exists());
+    assert!(dir.join(persist::surface_file_name(hash)).exists());
+
+    // Reopen in a *fresh* cache (the new-process situation): the exact
+    // hit is lazily restored from disk and bitwise identical.
+    let reopened = SurfaceCache::open(&dir).unwrap();
+    let stats = reopened.stats();
+    assert_eq!(stats.entries, 0, "surfaces must be restored lazily");
+    assert_eq!(stats.persisted_entries, 1);
+    let Lookup::Exact(restored) = reopened.lookup(
+        hash,
+        original_shape(&scenario),
+        &hddm_scenarios::fingerprint(&scenario),
+        false,
+    ) else {
+        panic!("persisted surface must be an exact hit after reopening");
+    };
+    assert_eq!(reopened.stats().disk_hits, 1);
+    let probes: Vec<Vec<f64>> = vec![
+        original.domain_lo.clone(),
+        original
+            .domain_lo
+            .iter()
+            .zip(&original.domain_hi)
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect(),
+    ];
+    assert_policies_bitwise_equal(&original, &restored, &probes);
+
+    // And the executor path serves it with zero solver steps.
+    let again = run_single(&scenario, &reopened, &config()).unwrap();
+    assert_eq!(again.cache, CacheKind::Exact);
+    assert_eq!(again.steps, 0);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn original_shape(s: &Scenario) -> hddm_scenarios::ShapeKey {
+    hddm_scenarios::ShapeKey {
+        dim: s.calibration.dim(),
+        ndofs: s.calibration.ndofs(),
+        num_states: s.calibration.num_states(),
+    }
+}
+
+#[test]
+fn rerunning_a_sweep_through_a_fresh_cache_does_zero_solves() {
+    let dir = temp_cache_dir("sweep");
+    let set = ScenarioSet::grid(
+        &base_scenario(),
+        &[(Knob::Beta, vec![0.949, 0.95, 0.951, 0.952])],
+    )
+    .unwrap();
+
+    let first_cache = SurfaceCache::open(&dir).unwrap();
+    let first = run_set(&set, &first_cache, &config()).unwrap();
+    assert!(first.all_converged());
+    assert_eq!(first.cache_stats.persisted_entries, set.len());
+
+    // Fresh cache over the same directory — exactly what a new process
+    // sees. Every scenario must be a zero-step exact hit from disk.
+    let second_cache = SurfaceCache::open(&dir).unwrap();
+    let second = run_set(&set, &second_cache, &config()).unwrap();
+    assert_eq!(second.exact_hits, set.len(), "every scenario exact");
+    assert_eq!(second.cold_solves, 0);
+    assert_eq!(second.warm_starts, 0);
+    assert!(
+        second.scenarios.iter().all(|s| s.steps == 0),
+        "zero time-iteration steps on the rerun"
+    );
+    assert_eq!(second.cache_stats.disk_hits, set.len());
+
+    // Cost feedback also survives the restart: a third fresh cache over
+    // the directory serves measured costs from the manifest alone, no
+    // record file loads needed (the estimator would return None without
+    // the persisted index).
+    let third_cache = SurfaceCache::open(&dir).unwrap();
+    for scenario in &set.scenarios {
+        let cost = third_cache.estimated_cost(
+            original_shape(scenario),
+            &hddm_scenarios::fingerprint(scenario),
+        );
+        assert!(
+            cost.is_some_and(|c| c > 0.0),
+            "persisted cost missing for {:?}",
+            scenario.name
+        );
+    }
+    assert_eq!(third_cache.stats().entries, 0, "no record file was loaded");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_record_files_are_skipped_without_a_panic() {
+    let dir = temp_cache_dir("corrupt");
+    let scenario = base_scenario();
+    let cache = SurfaceCache::open(&dir).unwrap();
+    let report = run_single(&scenario, &cache, &config()).unwrap();
+    let hash = report.hash.0;
+    drop(cache);
+
+    // Truncate the record file mid-JSON.
+    let record = dir.join(persist::surface_file_name(hash));
+    let text = fs::read_to_string(&record).unwrap();
+    fs::write(&record, &text[..text.len() / 2]).unwrap();
+
+    let reopened = SurfaceCache::open(&dir).unwrap();
+    assert_eq!(reopened.stats().persisted_entries, 1);
+    // The lookup skips the corrupt file (warning, not panic) and misses.
+    let report = run_single(&scenario, &reopened, &config()).unwrap();
+    assert_eq!(report.cache, CacheKind::Cold, "corrupt entry must not hit");
+    let stats = reopened.stats();
+    assert_eq!(stats.skipped, 1);
+    // The re-solve re-deposited a good copy.
+    assert_eq!(stats.persisted_entries, 1);
+    let third = SurfaceCache::open(&dir).unwrap();
+    let served = run_single(&scenario, &third, &config()).unwrap();
+    assert_eq!(served.cache, CacheKind::Exact);
+
+    // Semantic corruption (valid JSON, broken structure) is also caught:
+    // damage a structural field and expect a cold solve, not a panic.
+    let text = fs::read_to_string(&record).unwrap();
+    let damaged = text.replacen("\"nfreq\":", "\"nfreq\":9999999,\"was_nfreq\":", 1);
+    assert_ne!(text, damaged, "test must actually damage the record");
+    fs::write(&record, damaged).unwrap();
+    let fourth = SurfaceCache::open(&dir).unwrap();
+    let report = run_single(&scenario, &fourth, &config()).unwrap();
+    assert_eq!(report.cache, CacheKind::Cold);
+    assert_eq!(fourth.stats().skipped, 1);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_manifest_versions_are_skipped_without_a_panic() {
+    let dir = temp_cache_dir("version");
+    let scenario = base_scenario();
+    let cache = SurfaceCache::open(&dir).unwrap();
+    run_single(&scenario, &cache, &config()).unwrap();
+    drop(cache);
+
+    // Stamp a future format version onto the manifest.
+    let manifest = dir.join(MANIFEST_FILE);
+    let text = fs::read_to_string(&manifest).unwrap();
+    let future = text.replacen("\"version\":1", "\"version\":999", 1);
+    assert_ne!(text, future);
+    fs::write(&manifest, future).unwrap();
+
+    let reopened = SurfaceCache::open(&dir).unwrap();
+    let stats = reopened.stats();
+    assert_eq!(stats.persisted_entries, 0, "unknown version starts empty");
+    assert!(stats.skipped >= 1);
+    let report = run_single(&scenario, &reopened, &config()).unwrap();
+    assert_eq!(report.cache, CacheKind::Cold);
+
+    // A wholly corrupt manifest is equally survivable.
+    fs::write(&manifest, "not json at all {{{").unwrap();
+    let reopened = SurfaceCache::open(&dir).unwrap();
+    assert_eq!(reopened.stats().persisted_entries, 0);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_bounds_the_directory_to_max_entries_oldest_first() {
+    let dir = temp_cache_dir("evict");
+    let policy = EvictionPolicy {
+        max_entries: Some(2),
+        max_bytes: None,
+    };
+    let set = ScenarioSet::grid(
+        &base_scenario(),
+        &[(Knob::Beta, vec![0.949, 0.95, 0.951, 0.952])],
+    )
+    .unwrap();
+
+    let cache = SurfaceCache::open_with(&dir, policy).unwrap();
+    let report = run_set(&set, &cache, &config()).unwrap();
+    assert!(report.all_converged());
+
+    let stats = cache.stats();
+    assert_eq!(stats.persisted_entries, 2, "directory bounded to 2");
+    assert_eq!(stats.evictions, set.len() - 2, "oldest entries evicted");
+
+    // Exactly two record files remain on disk (plus the manifest), and
+    // they are the two *newest* scenarios.
+    let mut files: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("surface-"))
+        .collect();
+    files.sort();
+    let mut expected: Vec<String> = report.scenarios[set.len() - 2..]
+        .iter()
+        .map(|s| persist::surface_file_name(s.hash.0))
+        .collect();
+    expected.sort();
+    assert_eq!(files, expected);
+
+    // A fresh cache over the directory agrees, and the surviving
+    // (newest) scenario is still an exact hit.
+    let reopened = SurfaceCache::open_with(&dir, policy).unwrap();
+    assert_eq!(reopened.stats().persisted_entries, 2);
+    let newest = set.scenarios.last().unwrap();
+    let served = run_single(newest, &reopened, &config()).unwrap();
+    assert_eq!(served.cache, CacheKind::Exact);
+    // An evicted scenario is genuinely gone: warm at best, never exact.
+    let oldest = &set.scenarios[0];
+    let served = run_single(oldest, &reopened, &config()).unwrap();
+    assert_ne!(served.cache, CacheKind::Exact);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn max_bytes_eviction_bounds_the_directory_size() {
+    let dir = temp_cache_dir("bytes");
+    // First find out how big one record is.
+    let probe_dir = temp_cache_dir("bytes_probe");
+    let probe = SurfaceCache::open(&probe_dir).unwrap();
+    run_single(&base_scenario(), &probe, &config()).unwrap();
+    let one_record = probe.stats().persisted_bytes;
+    assert!(one_record > 0);
+    let _ = fs::remove_dir_all(&probe_dir);
+
+    // Budget for about two records.
+    let policy = EvictionPolicy {
+        max_entries: None,
+        max_bytes: Some(one_record * 5 / 2),
+    };
+    let set = ScenarioSet::grid(
+        &base_scenario(),
+        &[(Knob::Beta, vec![0.949, 0.95, 0.951, 0.952])],
+    )
+    .unwrap();
+    let cache = SurfaceCache::open_with(&dir, policy).unwrap();
+    run_set(&set, &cache, &config()).unwrap();
+    let stats = cache.stats();
+    assert!(
+        stats.persisted_bytes <= one_record * 5 / 2,
+        "directory bytes {} exceed the budget {}",
+        stats.persisted_bytes,
+        one_record * 5 / 2
+    );
+    assert!(stats.evictions >= 1, "the byte budget must have evicted");
+    assert!(stats.persisted_entries >= 1, "but not everything");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orphaned_record_files_are_swept_on_open() {
+    let dir = temp_cache_dir("orphans");
+    let scenario = base_scenario();
+    let cache = SurfaceCache::open(&dir).unwrap();
+    let hash = run_single(&scenario, &cache, &config()).unwrap().hash.0;
+    drop(cache);
+
+    // A manifest from a future format version orphans its record files.
+    let manifest = dir.join(MANIFEST_FILE);
+    let text = fs::read_to_string(&manifest).unwrap();
+    fs::write(
+        &manifest,
+        text.replacen("\"version\":1", "\"version\":999", 1),
+    )
+    .unwrap();
+    // Plus a crash leftover: a record file no index ever referenced.
+    fs::write(dir.join(persist::surface_file_name(!hash)), "{}").unwrap();
+    // And a torn temp file.
+    fs::write(dir.join(".tmp-12345-surface-junk.json"), "partial").unwrap();
+
+    let reopened = SurfaceCache::open(&dir).unwrap();
+    assert_eq!(reopened.stats().persisted_entries, 0);
+    // Unindexed files are gone: they can never leak past the eviction
+    // budget, and nothing but the (stale) manifest remains.
+    let leftovers: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n != MANIFEST_FILE)
+        .collect();
+    assert!(leftovers.is_empty(), "leftovers: {leftovers:?}");
+    assert!(reopened.stats().skipped >= 3, "manifest + 2 orphans");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_budget_below_one_surface_warns_but_keeps_the_memory_tier_working() {
+    let dir = temp_cache_dir("tiny_budget");
+    let policy = EvictionPolicy {
+        max_entries: Some(0),
+        max_bytes: None,
+    };
+    let scenario = base_scenario();
+    let cache = SurfaceCache::open_with(&dir, policy).unwrap();
+    let first = run_single(&scenario, &cache, &config()).unwrap();
+    assert_eq!(first.cache, CacheKind::Cold);
+
+    // The directory bound holds (nothing persisted)…
+    let stats = cache.stats();
+    assert_eq!(stats.persisted_entries, 0);
+    assert_eq!(stats.persisted_bytes, 0);
+    // …but the in-memory tier must still serve the surface.
+    assert_eq!(stats.entries, 1);
+    let again = run_single(&scenario, &cache, &config()).unwrap();
+    assert_eq!(again.cache, CacheKind::Exact);
+    assert_eq!(again.steps, 0);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persist_to_flushes_an_in_memory_cache_to_disk() {
+    let dir = temp_cache_dir("flush");
+    let scenario = base_scenario();
+    let cache = SurfaceCache::default();
+    run_single(&scenario, &cache, &config()).unwrap();
+    assert_eq!(cache.stats().persisted_entries, 0);
+
+    cache.persist_to(&dir).unwrap();
+    assert_eq!(cache.stats().persisted_entries, 1);
+    assert!(dir.join(MANIFEST_FILE).exists());
+
+    // A fresh cache over the directory serves the flushed surface.
+    let reopened = SurfaceCache::open(&dir).unwrap();
+    let served = run_single(&scenario, &reopened, &config()).unwrap();
+    assert_eq!(served.cache, CacheKind::Exact);
+    assert_eq!(served.steps, 0);
+
+    let _ = fs::remove_dir_all(&dir);
+}
