@@ -1,0 +1,315 @@
+//! Scenario-serving demo: replay a mixed request trace (exact hits /
+//! warm near-misses / cold misses) through the [`ScenarioService`]
+//! facade from concurrent client threads and report per-class
+//! hit/warm/cold latencies.
+//!
+//! ```text
+//! # Warm the persistent cache first, then replay against it:
+//! cargo run --release -p hddm-bench --bin scenarios -- --demo --cache-dir /tmp/hddm-cache
+//! cargo run --release -p hddm-bench --bin serve -- --cache-dir /tmp/hddm-cache \
+//!     --hits 16 --warm 6 --cold 2 --clients 4 --expect-hits-zero-solve
+//! ```
+//!
+//! Exits non-zero if any request errors, any solved scenario fails to
+//! converge, or — with `--expect-hits-zero-solve` — any hit-class
+//! request was not served as a zero-step exact cache hit (the CI smoke
+//! contract for the serving front-end).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hddm_scenarios::{CacheKind, ExecutorConfig, Knob, ScenarioSet};
+use hddm_serve::{ScenarioRequest, ScenarioResponse, ScenarioService, ServeConfig};
+
+struct Args {
+    cache_dir: Option<String>,
+    lifespan: usize,
+    work_years: usize,
+    hits: usize,
+    warm: usize,
+    cold: usize,
+    clients: usize,
+    workers: usize,
+    max_batch: usize,
+    linger_ms: u64,
+    queue_capacity: usize,
+    expect_hits_zero_solve: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cache_dir: None,
+        lifespan: 5,
+        work_years: 3,
+        hits: 16,
+        warm: 4,
+        cold: 2,
+        clients: 4,
+        workers: 2,
+        max_batch: 8,
+        linger_ms: 2,
+        queue_capacity: 256,
+        expect_hits_zero_solve: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        macro_rules! parse {
+            ($field:ident, $name:literal) => {
+                args.$field = value($name)?
+                    .parse()
+                    .map_err(|e| format!("{}: {e}", $name))?
+            };
+        }
+        match flag.as_str() {
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--lifespan" => parse!(lifespan, "--lifespan"),
+            "--work-years" => parse!(work_years, "--work-years"),
+            "--hits" => parse!(hits, "--hits"),
+            "--warm" => parse!(warm, "--warm"),
+            "--cold" => parse!(cold, "--cold"),
+            "--clients" => parse!(clients, "--clients"),
+            "--workers" => parse!(workers, "--workers"),
+            "--max-batch" => parse!(max_batch, "--max-batch"),
+            "--linger-ms" => parse!(linger_ms, "--linger-ms"),
+            "--queue-capacity" => parse!(queue_capacity, "--queue-capacity"),
+            "--expect-hits-zero-solve" => args.expect_hits_zero_solve = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.clients == 0 {
+        return Err("--clients must be ≥ 1".into());
+    }
+    Ok(args)
+}
+
+/// Which answer a trace entry is engineered to exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceClass {
+    /// A demo-sweep scenario, expected to be cached (when the cache was
+    /// pre-warmed by the `scenarios` CLI over the same directory).
+    Hit,
+    /// A small in-radius jitter of a demo scenario: a warm near-miss.
+    WarmMiss,
+    /// A far box reform: a cold miss.
+    ColdMiss,
+}
+
+impl TraceClass {
+    fn label(self) -> &'static str {
+        match self {
+            TraceClass::Hit => "hit",
+            TraceClass::WarmMiss => "warm-miss",
+            TraceClass::ColdMiss => "cold-miss",
+        }
+    }
+}
+
+/// Builds the labeled request trace off the demo sweep.
+fn build_trace(args: &Args) -> Result<Vec<(TraceClass, ScenarioRequest)>, String> {
+    let demo = ScenarioSet::demo(args.lifespan, args.work_years)?;
+    let mut trace = Vec::new();
+    for i in 0..args.hits {
+        let scenario = demo.scenarios[i % demo.len()].clone();
+        trace.push((TraceClass::Hit, ScenarioRequest::new(scenario)));
+    }
+    for i in 0..args.warm {
+        let mut scenario = demo.scenarios[i % demo.len()].clone();
+        // Within the warm radius of its source, but a distinct hash.
+        let beta = scenario.calibration.beta + 0.0004 * (1 + i / demo.len()) as f64;
+        Knob::Beta.apply(&mut scenario, beta)?;
+        scenario.name = format!("{}/warm{i}", scenario.name);
+        trace.push((TraceClass::WarmMiss, ScenarioRequest::new(scenario)));
+    }
+    for i in 0..args.cold {
+        let mut scenario = demo.scenarios[i % demo.len()].clone();
+        // A box reform far outside the warm radius (steady state is
+        // unaffected, so the solve stays well-posed).
+        Knob::CapitalSpan.apply(&mut scenario, 0.45 + 0.02 * (i / demo.len()) as f64)?;
+        scenario.name = format!("{}/cold{i}", scenario.name);
+        trace.push((TraceClass::ColdMiss, ScenarioRequest::new(scenario)));
+    }
+    Ok(trace)
+}
+
+fn latency_line(class: &str, latencies: &mut [f64]) -> String {
+    if latencies.is_empty() {
+        return format!("  {class:<10} 0 requests");
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let n = latencies.len();
+    let mean = latencies.iter().sum::<f64>() / n as f64;
+    format!(
+        "  {class:<10} {n:>3} requests: min {:>8.3} ms, mean {:>8.3} ms, max {:>8.3} ms",
+        latencies[0] * 1e3,
+        mean * 1e3,
+        latencies[n - 1] * 1e3
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match build_trace(&args) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = ServeConfig {
+        executor: ExecutorConfig {
+            threads: 1, // solves are batched; concurrency comes from the dispatchers
+            cache_dir: args.cache_dir.as_ref().map(std::path::PathBuf::from),
+            ..ExecutorConfig::serial()
+        },
+        max_batch: args.max_batch,
+        queue_capacity: args.queue_capacity,
+        linger: Duration::from_millis(args.linger_ms),
+        workers: args.workers,
+    };
+    let service = match ScenarioService::open(config) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "Serving trace: {} hit / {} warm-miss / {} cold-miss requests over {} client thread(s), \
+         {} dispatcher(s), micro-batch ≤ {}, linger {} ms{}",
+        args.hits,
+        args.warm,
+        args.cold,
+        args.clients,
+        args.workers,
+        args.max_batch,
+        args.linger_ms,
+        match &args.cache_dir {
+            Some(dir) => format!(", cache dir {dir}"),
+            None => ", in-memory cache".into(),
+        }
+    );
+
+    // Round-robin the trace across client threads; each client submits
+    // its slice and blocks per request (`call`), so distinct clients
+    // exercise the concurrent admission path.
+    let results: Vec<Vec<(TraceClass, Result<ScenarioResponse, hddm_serve::ServeError>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|client| {
+                    let service = Arc::clone(&service);
+                    let slice: Vec<_> = trace
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % args.clients == client)
+                        .map(|(_, (class, request))| (*class, request.clone()))
+                        .collect();
+                    scope.spawn(move || {
+                        slice
+                            .into_iter()
+                            .map(|(class, request)| (class, service.call(request)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    let mut failures = 0usize;
+    let mut hit_violations = 0usize;
+    let mut non_converged = 0usize;
+    let mut latencies: Vec<(TraceClass, Vec<f64>)> = vec![
+        (TraceClass::Hit, Vec::new()),
+        (TraceClass::WarmMiss, Vec::new()),
+        (TraceClass::ColdMiss, Vec::new()),
+    ];
+    let mut served = [0usize; 3]; // exact / warm / cold as actually served
+
+    for (class, result) in results.into_iter().flatten() {
+        match result {
+            Ok(response) => {
+                latencies
+                    .iter_mut()
+                    .find(|(c, _)| *c == class)
+                    .expect("class bucket")
+                    .1
+                    .push(response.total_seconds);
+                match response.kind() {
+                    CacheKind::Exact => served[0] += 1,
+                    CacheKind::Warm => served[1] += 1,
+                    CacheKind::Cold => served[2] += 1,
+                }
+                if response.report.steps > 0 && !response.report.converged {
+                    eprintln!("serve: NON-CONVERGED: {:?}", response.report.name);
+                    non_converged += 1;
+                }
+                if args.expect_hits_zero_solve
+                    && class == TraceClass::Hit
+                    && (response.kind() != CacheKind::Exact || response.report.steps != 0)
+                {
+                    eprintln!(
+                        "serve: hit request {:?} was served {} with {} step(s), \
+                         expected a zero-step exact hit",
+                        response.report.name,
+                        response.kind(),
+                        response.report.steps
+                    );
+                    hit_violations += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("serve: request failed ({}): {e}", class.label());
+                failures += 1;
+            }
+        }
+    }
+
+    println!("\nlatency by trace class:");
+    for (class, lat) in &mut latencies {
+        println!("{}", latency_line(class.label(), lat));
+    }
+    println!(
+        "\nserved: {} exact / {} warm / {} cold",
+        served[0], served[1], served[2]
+    );
+    let stats = service.cache().stats();
+    println!(
+        "cache: {} in memory, {} on disk ({} bytes), {} disk restore(s), \
+         peak {} concurrent restore(s), {} lock poisoning(s)",
+        stats.entries,
+        stats.persisted_entries,
+        stats.persisted_bytes,
+        stats.disk_hits,
+        stats.concurrent_restores_peak,
+        stats.lock_poisonings
+    );
+
+    if failures > 0 || non_converged > 0 {
+        eprintln!("serve: {failures} failed request(s), {non_converged} non-converged solve(s)");
+        return ExitCode::FAILURE;
+    }
+    if hit_violations > 0 {
+        eprintln!(
+            "serve: --expect-hits-zero-solve violated by {hit_violations} hit request(s) \
+             (was the cache warmed with the same demo sweep?)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.expect_hits_zero_solve {
+        println!(
+            "serving contract holds: all {} hit requests were zero-step exact hits, \
+             all misses converged",
+            args.hits
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -13,11 +13,28 @@
 //! Measured solve costs ride along on each entry, so the executor's
 //! fleet assignment improves as the cache fills (cost estimates are fed
 //! back from actual runs of nearby scenarios).
+//!
+//! ## Concurrency architecture
+//!
+//! The cache is a cheaply clonable handle (`Arc` inside) over a **sharded
+//! read path**: entries live in `RwLock`-guarded shards selected by hash,
+//! so concurrent exact-hit readers only contend when they hit the same
+//! shard — and even then only on a shared read lock. Record-file I/O for
+//! lazy disk restores happens **outside every lock** (see
+//! [`crate::persist`]); a per-entry in-flight guard ensures each surface
+//! is restored from disk at most once no matter how many readers race for
+//! it (losers wait on a condvar and are handed the winner's `Arc`).
+//!
+//! Poisoned locks are recovered, not propagated: every guarded region
+//! leaves the cache structurally consistent (promotion and deposit are
+//! single `HashMap` operations), so a panicking sweep thread must not
+//! poison the cache for every other thread. Recoveries are counted in
+//! [`CacheStats::lock_poisonings`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use serde::{Deserialize, Serialize};
 
@@ -27,8 +44,14 @@ use hddm_core::{PolicySet, StateRecord};
 use hddm_kernels::{CompressedState, KernelKind};
 use hddm_olg::PolicyOracle;
 
-use crate::hash::fingerprint_distance;
-use crate::persist::{EvictionPolicy, Store};
+use crate::hash::{fingerprint_distance, HashId};
+use crate::persist::{EvictionPolicy, ManifestEntry, Store};
+
+/// Number of `RwLock` shards the in-memory map is split across. A small
+/// power of two: enough that a serving front-end's reader threads rarely
+/// collide, small enough that whole-cache scans (warm-start search, cost
+/// estimation) stay cheap.
+const SHARD_COUNT: usize = 16;
 
 /// The state-space shape a cached surface was solved on. Warm starts
 /// require an exact shape match: a surface over a different
@@ -41,6 +64,20 @@ pub struct ShapeKey {
     pub ndofs: usize,
     /// Number of discrete Markov states.
     pub num_states: usize,
+}
+
+impl ShapeKey {
+    /// The state-space shape of a scenario, derivable without solving
+    /// the steady state. The single source of truth for the cache
+    /// identity — the executor's solve-time lookups and the serving
+    /// front-end's admission probe must derive the shape identically.
+    pub fn of(scenario: &crate::scenario::Scenario) -> ShapeKey {
+        ShapeKey {
+            dim: scenario.calibration.dim(),
+            ndofs: scenario.calibration.ndofs(),
+            num_states: scenario.calibration.num_states(),
+        }
+    }
 }
 
 /// One cached policy surface with its provenance and cost telemetry.
@@ -78,6 +115,14 @@ impl CachedSurface {
             .collect();
         PolicySet::new(states, domain)
     }
+
+    /// Total grid points of the surface (summed over discrete states).
+    pub fn grid_points(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.surplus.len() / self.shape.ndofs.max(1))
+            .sum()
+    }
 }
 
 /// Outcome of a cache lookup.
@@ -91,11 +136,25 @@ pub enum Lookup {
     Miss,
 }
 
+/// Nearest same-shape cached neighbour of a fingerprint — the metadata a
+/// serving front-end reports on a near miss without restoring anything
+/// from disk. Returned by [`SurfaceCache::nearest_neighbour`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NeighbourInfo {
+    /// Content hash of the neighbouring cached scenario.
+    pub hash: HashId,
+    /// Fingerprint distance to the query (see
+    /// [`fingerprint_distance`](crate::hash::fingerprint_distance)).
+    pub distance: f64,
+    /// Measured wall-clock seconds of the neighbour's producing solve.
+    pub cost_seconds: f64,
+}
+
 /// Cache telemetry counters — in-memory traffic plus, when a persistent
 /// backing directory is attached, the on-disk store's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Entries currently held in memory.
+    /// Entries currently held in memory (summed over shards).
     pub entries: usize,
     /// Surfaces currently persisted in the backing directory (0 for a
     /// purely in-memory cache).
@@ -116,74 +175,73 @@ pub struct CacheStats {
     /// Corrupt, truncated, or version-mismatched persisted artifacts
     /// skipped with a warning.
     pub skipped: usize,
+    /// Poisoned shard/store locks recovered (a sweep thread panicked
+    /// while holding a cache lock; the guarded state is crash-consistent
+    /// by construction, so the lock is cleared and reused).
+    pub lock_poisonings: usize,
+    /// High-water mark of simultaneously in-flight disk restores — the
+    /// direct evidence that record-file I/O runs outside the cache locks
+    /// (a single-mutex cache can never exceed 1).
+    pub concurrent_restores_peak: usize,
 }
 
-/// The shared, thread-safe surface cache. Lookup order over candidates is
-/// insertion order, so concurrent sweeps stay deterministic given a
-/// deterministic execution order.
-///
-/// Optionally backed by a persistent cache directory (see
-/// [`SurfaceCache::open`] and [`SurfaceCache::persist_to`]): the on-disk
-/// index is consulted on misses, hit surfaces are lazily restored from
-/// their record files and promoted into memory, and every deposit is
-/// written through atomically.
-pub struct SurfaceCache {
-    inner: Mutex<Inner>,
+/// Instrumentation hook invoked during every record-file restore, with
+/// the hash being restored, **outside all cache locks**. Tests use it to
+/// prove restore concurrency (rendezvous of N readers) and to count
+/// per-hash restore attempts; production code leaves it unset.
+pub type RestoreHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// One shard of the in-memory map. `seq` is the global deposit sequence
+/// number — the deterministic tie-breaker that replaces the old
+/// cache-wide insertion-order vector (nearest-neighbour searches prefer
+/// the earliest deposit among equal distances, independent of shard
+/// layout).
+#[derive(Default)]
+struct Shard {
+    by_hash: HashMap<u64, ShardEntry>,
+}
+
+struct ShardEntry {
+    seq: u64,
+    surface: Arc<CachedSurface>,
+}
+
+struct CacheInner {
+    shards: Vec<RwLock<Shard>>,
+    /// Global deposit counter (insertion order across shards).
+    seq: AtomicU64,
+    /// Persistent backing store, when attached.
+    store: RwLock<Option<Arc<Store>>>,
+    /// Maximum fingerprint distance a warm start may bridge.
+    warm_radius: f64,
     exact_hits: AtomicUsize,
     warm_hits: AtomicUsize,
     misses: AtomicUsize,
     disk_hits: AtomicUsize,
-    /// Maximum fingerprint distance a warm start may bridge.
-    warm_radius: f64,
+    lock_poisonings: AtomicUsize,
+    /// Hashes whose disk restore is currently in flight; guards
+    /// restore-once promotion.
+    inflight: Mutex<HashSet<u64>>,
+    inflight_cv: Condvar,
+    restoring_now: AtomicUsize,
+    restore_peak: AtomicUsize,
+    restore_hook: RwLock<Option<RestoreHook>>,
 }
 
-struct Inner {
-    by_hash: HashMap<u64, Arc<CachedSurface>>,
-    /// Insertion order of hashes — the deterministic scan order for
-    /// nearest-neighbour searches (`HashMap` iteration order is seeded
-    /// per-process and would make warm-start choices irreproducible).
-    order: Vec<u64>,
-    /// Persistent backing store, when attached.
-    store: Option<Store>,
-}
-
-impl Inner {
-    /// Loads `hash` from the backing store (if any) and promotes it into
-    /// the in-memory map. `None` when there is no store, the hash is not
-    /// persisted, or its record file is corrupt (skipped with a warning
-    /// inside the store).
-    fn promote_from_disk(&mut self, hash: u64) -> Option<Arc<CachedSurface>> {
-        let surface = self.store.as_mut()?.load(hash)?;
-        let arc = Arc::new(surface);
-        if self.by_hash.insert(hash, Arc::clone(&arc)).is_none() {
-            self.order.push(hash);
-        }
-        Some(arc)
-    }
-
-    /// The nearest persisted same-shape neighbour within `radius` that is
-    /// not already in memory, per the manifest index alone (no file I/O).
-    /// Shared by the warm-start lookup and cost estimation so both always
-    /// pick the same neighbour.
-    fn best_disk_candidate(
-        &self,
-        shape: ShapeKey,
-        fingerprint: &[f64],
-        radius: f64,
-    ) -> Option<(f64, &crate::persist::ManifestEntry)> {
-        let store = self.store.as_ref()?;
-        let mut best: Option<(f64, &crate::persist::ManifestEntry)> = None;
-        for entry in store.entries() {
-            if entry.shape != shape || self.by_hash.contains_key(&entry.hash.0) {
-                continue;
-            }
-            let d = fingerprint_distance(&entry.fingerprint, fingerprint);
-            if d <= radius && best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, entry));
-            }
-        }
-        best
-    }
+/// The shared, thread-safe surface cache — a cheap clonable handle; all
+/// clones observe the same entries and telemetry. Nearest-neighbour scan
+/// order is deposit order (a global sequence number), so warm-start
+/// choices stay deterministic given a deterministic execution order.
+///
+/// Optionally backed by a persistent cache directory (see
+/// [`SurfaceCache::open`] and [`SurfaceCache::persist_to`]): the on-disk
+/// index is consulted on misses, hit surfaces are lazily restored from
+/// their record files — concurrently, outside any lock, at most once per
+/// entry — and promoted into memory, and every deposit is written through
+/// atomically.
+#[derive(Clone)]
+pub struct SurfaceCache {
+    inner: Arc<CacheInner>,
 }
 
 impl Default for SurfaceCache {
@@ -197,16 +255,24 @@ impl SurfaceCache {
     /// `warm_radius` fingerprint distance (see [`fingerprint_distance`]).
     pub fn new(warm_radius: f64) -> SurfaceCache {
         SurfaceCache {
-            inner: Mutex::new(Inner {
-                by_hash: HashMap::new(),
-                order: Vec::new(),
-                store: None,
+            inner: Arc::new(CacheInner {
+                shards: (0..SHARD_COUNT)
+                    .map(|_| RwLock::new(Shard::default()))
+                    .collect(),
+                seq: AtomicU64::new(0),
+                store: RwLock::new(None),
+                warm_radius,
+                exact_hits: AtomicUsize::new(0),
+                warm_hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+                disk_hits: AtomicUsize::new(0),
+                lock_poisonings: AtomicUsize::new(0),
+                inflight: Mutex::new(HashSet::new()),
+                inflight_cv: Condvar::new(),
+                restoring_now: AtomicUsize::new(0),
+                restore_peak: AtomicUsize::new(0),
+                restore_hook: RwLock::new(None),
             }),
-            exact_hits: AtomicUsize::new(0),
-            warm_hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            disk_hits: AtomicUsize::new(0),
-            warm_radius,
         }
     }
 
@@ -223,7 +289,7 @@ impl SurfaceCache {
         policy: EvictionPolicy,
     ) -> Result<SurfaceCache, String> {
         let cache = SurfaceCache::default();
-        cache.inner.lock().unwrap().store = Some(Store::open(dir, policy)?);
+        *cache.store_write() = Some(Arc::new(Store::open(dir, policy)?));
         Ok(cache)
     }
 
@@ -240,33 +306,248 @@ impl SurfaceCache {
         dir: P,
         policy: EvictionPolicy,
     ) -> Result<(), String> {
-        let mut store = Store::open(dir, policy)?;
-        let mut inner = self.inner.lock().unwrap();
+        let store = Store::open(dir, policy)?;
+        // Flush in deposit order so the on-disk LRU order matches the
+        // in-memory insertion order.
+        let mut surfaces: Vec<(u64, Arc<CachedSurface>)> = Vec::new();
+        for i in 0..SHARD_COUNT {
+            let shard = self.shard_read(i);
+            surfaces.extend(
+                shard
+                    .by_hash
+                    .values()
+                    .map(|e| (e.seq, Arc::clone(&e.surface))),
+            );
+        }
+        surfaces.sort_by_key(|(seq, _)| *seq);
         let mut dropped = Vec::new();
-        for &hash in &inner.order {
-            dropped.extend(store.insert(&inner.by_hash[&hash])?);
+        for (_, surface) in &surfaces {
+            dropped.extend(store.insert(surface)?);
         }
         // A hash evicted mid-flush may have been re-deposited by a later
         // insert of the same flush; only drop from memory what the store
         // really ended up without.
-        dropped.retain(|&h| !store.entries().any(|e| e.hash.0 == h));
+        dropped.retain(|&h| !store.contains(h));
         for hash in dropped {
-            if inner.by_hash.remove(&hash).is_some() {
-                inner.order.retain(|&h| h != hash);
-            }
+            self.shard_write(shard_of(hash)).by_hash.remove(&hash);
         }
-        inner.store = Some(store);
+        *self.store_write() = Some(Arc::new(store));
         Ok(())
     }
 
     /// The persistent directory backing this cache, if one is attached.
     pub fn cache_dir(&self) -> Option<std::path::PathBuf> {
-        self.inner
-            .lock()
-            .unwrap()
-            .store
-            .as_ref()
-            .map(|s| s.dir().to_path_buf())
+        self.store().map(|s| s.dir().to_path_buf())
+    }
+
+    /// Number of `RwLock` shards the in-memory map is split across.
+    pub fn shard_count(&self) -> usize {
+        SHARD_COUNT
+    }
+
+    /// Entries currently held by each shard — per-shard telemetry for
+    /// concurrency tests and load inspection.
+    pub fn shard_entries(&self) -> Vec<usize> {
+        (0..SHARD_COUNT)
+            .map(|i| self.shard_read(i).by_hash.len())
+            .collect()
+    }
+
+    /// Installs an instrumentation hook invoked (outside all locks) for
+    /// every record-file restore; see [`RestoreHook`]. Pass-through for
+    /// tests and latency tracing — not part of the caching semantics.
+    pub fn set_restore_hook(&self, hook: RestoreHook) {
+        *self.recover_rw_write(&self.inner.restore_hook) = Some(hook);
+    }
+
+    // ----- lock plumbing (poisoning-recovering) ------------------------
+
+    fn recover_rw_read<'a, T>(&self, lock: &'a RwLock<T>) -> RwLockReadGuard<'a, T> {
+        lock.read().unwrap_or_else(|poisoned| {
+            self.inner.lock_poisonings.fetch_add(1, Ordering::Relaxed);
+            lock.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    fn recover_rw_write<'a, T>(&self, lock: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
+        lock.write().unwrap_or_else(|poisoned| {
+            self.inner.lock_poisonings.fetch_add(1, Ordering::Relaxed);
+            lock.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    fn recover_mutex<'a, T>(&self, lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        lock.lock().unwrap_or_else(|poisoned| {
+            self.inner.lock_poisonings.fetch_add(1, Ordering::Relaxed);
+            lock.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    fn shard_read(&self, i: usize) -> RwLockReadGuard<'_, Shard> {
+        self.recover_rw_read(&self.inner.shards[i])
+    }
+
+    fn shard_write(&self, i: usize) -> RwLockWriteGuard<'_, Shard> {
+        self.recover_rw_write(&self.inner.shards[i])
+    }
+
+    fn store(&self) -> Option<Arc<Store>> {
+        self.recover_rw_read(&self.inner.store).clone()
+    }
+
+    fn store_write(&self) -> RwLockWriteGuard<'_, Option<Arc<Store>>> {
+        self.recover_rw_write(&self.inner.store)
+    }
+
+    // ----- disk promotion (restore-once, I/O outside locks) ------------
+
+    /// Loads `hash` from the backing store (if any) and promotes it into
+    /// its shard. `None` when there is no store, the hash is not
+    /// persisted, or its record file is corrupt (skipped with a warning
+    /// and dropped from the index).
+    ///
+    /// Restore-once guarantee: concurrent callers for the same hash elect
+    /// one restorer; the rest wait on a condvar and re-read the shard, so
+    /// the record file is read at most once per promotion no matter how
+    /// many readers race. Callers for *different* hashes proceed fully in
+    /// parallel — the file read holds no lock at all.
+    fn promote_from_disk(&self, hash: u64) -> Option<Arc<CachedSurface>> {
+        let store = self.store()?;
+        loop {
+            if let Some(entry) = self.shard_read(shard_of(hash)).by_hash.get(&hash) {
+                // Another thread promoted it while we raced for the claim.
+                return Some(Arc::clone(&entry.surface));
+            }
+            {
+                let mut inflight = self.recover_mutex(&self.inner.inflight);
+                if inflight.contains(&hash) {
+                    // A restore of this very hash is in flight: wait for
+                    // the winner instead of reading the file twice.
+                    while inflight.contains(&hash) {
+                        inflight =
+                            self.inner
+                                .inflight_cv
+                                .wait(inflight)
+                                .unwrap_or_else(|poisoned| {
+                                    self.inner.lock_poisonings.fetch_add(1, Ordering::Relaxed);
+                                    self.inner.inflight.clear_poison();
+                                    poisoned.into_inner()
+                                });
+                    }
+                    continue; // re-check the shard (winner promoted or skipped)
+                }
+                inflight.insert(hash);
+            }
+
+            // The claim MUST be released even if the restore unwinds (a
+            // panicking restore hook, an OOM in deserialization): a leaked
+            // claim would deadlock every future promotion of this hash.
+            // The guard releases + notifies on drop, unwind included.
+            struct ClaimGuard<'a> {
+                cache: &'a SurfaceCache,
+                hash: u64,
+            }
+            impl Drop for ClaimGuard<'_> {
+                fn drop(&mut self) {
+                    let mut inflight = self.cache.recover_mutex(&self.cache.inner.inflight);
+                    inflight.remove(&self.hash);
+                    self.cache.inner.inflight_cv.notify_all();
+                }
+            }
+            let _claim = ClaimGuard { cache: self, hash };
+
+            return self.restore_claimed(&store, hash);
+        }
+    }
+
+    /// The claimed restore itself: snapshot the index row, read + validate
+    /// the record file with **no lock held**, then promote under a single
+    /// short shard write lock.
+    fn restore_claimed(&self, store: &Store, hash: u64) -> Option<Arc<CachedSurface>> {
+        // The shard check in `promote_from_disk` and the claim are not
+        // one atomic step: a winner may have promoted (and released the
+        // claim) between our miss and our claim. Re-check now that the
+        // claim is held — without this, the record file would be read a
+        // second time for an already-promoted surface.
+        if let Some(entry) = self.shard_read(shard_of(hash)).by_hash.get(&hash) {
+            return Some(Arc::clone(&entry.surface));
+        }
+        let entry: ManifestEntry = store.entry(hash)?;
+
+        // Unwind-safe gauge: decrement on drop so a panicking hook or
+        // reader cannot leave `restoring_now` drifted upward forever.
+        struct GaugeGuard<'a>(&'a CacheInner);
+        impl Drop for GaugeGuard<'_> {
+            fn drop(&mut self) {
+                self.0.restoring_now.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let now = self.inner.restoring_now.fetch_add(1, Ordering::SeqCst) + 1;
+        let _gauge = GaugeGuard(&self.inner);
+        self.inner.restore_peak.fetch_max(now, Ordering::SeqCst);
+        let hook = self.recover_rw_read(&self.inner.restore_hook).clone();
+        if let Some(hook) = hook {
+            hook(hash);
+        }
+        let read = store.read_record(&entry);
+        drop(_gauge);
+
+        match read {
+            Ok(surface) => {
+                let arc = Arc::new(surface);
+                let mut shard = self.shard_write(shard_of(hash));
+                let entry = shard.by_hash.entry(hash).or_insert_with(|| ShardEntry {
+                    seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+                    surface: Arc::clone(&arc),
+                });
+                let promoted = Arc::clone(&entry.surface);
+                drop(shard);
+                self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Some(promoted)
+            }
+            Err(e) => {
+                eprintln!(
+                    "hddm-scenarios: warning: skipping corrupt cached surface {} ({e})",
+                    HashId(hash)
+                );
+                store.discard(hash);
+                None
+            }
+        }
+    }
+
+    // ----- lookups -----------------------------------------------------
+
+    /// Exact-hash probe for the serving fast path: the surface when
+    /// `hash` is cached and compatible (in memory, or lazily restored
+    /// from disk — counted as an exact hit, plus a disk hit when a
+    /// restore happened), `None` otherwise — **without counting a
+    /// miss**. A `None` here means the caller will enqueue the scenario
+    /// and the dispatched solve will run the full [`SurfaceCache::lookup`],
+    /// which accounts for the miss exactly once; counting it in the
+    /// probe too would double every served miss in [`CacheStats`].
+    pub fn lookup_exact(
+        &self,
+        hash: u64,
+        shape: ShapeKey,
+        fingerprint: &[f64],
+    ) -> Option<Arc<CachedSurface>> {
+        let entry = {
+            let shard = self.shard_read(shard_of(hash));
+            shard.by_hash.get(&hash).map(|e| Arc::clone(&e.surface))
+        }
+        .or_else(|| self.promote_from_disk(hash))?;
+        // A colliding hash with an incompatible shape/fingerprint is a
+        // miss, exactly as in `lookup`.
+        if entry.shape == shape && entry.fingerprint == fingerprint {
+            self.inner.exact_hits.fetch_add(1, Ordering::Relaxed);
+            Some(entry)
+        } else {
+            None
+        }
     }
 
     /// Looks up a surface for the scenario identified by `hash`,
@@ -288,77 +569,129 @@ impl SurfaceCache {
         fingerprint: &[f64],
         allow_warm: bool,
     ) -> Lookup {
-        let mut inner = self.inner.lock().unwrap();
-
-        let exact = match inner.by_hash.get(&hash) {
-            Some(entry) => Some(Arc::clone(entry)),
-            None => {
-                let promoted = inner.promote_from_disk(hash);
-                if promoted.is_some() {
-                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                }
-                promoted
-            }
+        let exact = {
+            let shard = self.shard_read(shard_of(hash));
+            shard.by_hash.get(&hash).map(|e| Arc::clone(&e.surface))
         };
+        let exact = exact.or_else(|| self.promote_from_disk(hash));
         if let Some(entry) = exact {
             if entry.shape == shape && entry.fingerprint == fingerprint {
-                self.exact_hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.exact_hits.fetch_add(1, Ordering::Relaxed);
                 return Lookup::Exact(entry);
             }
             // Collision: fall through to the warm path / miss.
         }
 
         if !allow_warm {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
             return Lookup::Miss;
         }
 
-        let mut best_mem: Option<(f64, u64)> = None;
-        for h in &inner.order {
-            let entry = &inner.by_hash[h];
-            if entry.shape != shape {
-                continue;
-            }
-            let d = fingerprint_distance(&entry.fingerprint, fingerprint);
-            if d <= self.warm_radius && best_mem.is_none_or(|(bd, _)| d < bd) {
-                best_mem = Some((d, *h));
-            }
-        }
+        let (best_mem, in_memory) = self.best_memory_candidate(shape, fingerprint);
 
         // Disk candidates are retried in nearest-first order: a corrupt
-        // record file drops out of the index inside `load`, so the next
-        // scan finds the next-nearest neighbour.
+        // record file drops out of the index inside the restore, so the
+        // next scan finds the next-nearest neighbour.
         loop {
-            let best_disk = inner
-                .best_disk_candidate(shape, fingerprint, self.warm_radius)
-                .map(|(d, entry)| (d, entry.hash.0));
-            let from_disk = match (best_mem, best_disk) {
-                (Some((dm, _)), Some((dd, h))) if dd < dm => Some(h),
+            let best_disk = self.store().and_then(|store| {
+                store
+                    .best_candidate(shape, fingerprint, self.inner.warm_radius, |h| {
+                        in_memory.contains(&h)
+                    })
+                    .map(|(d, entry)| (d, entry.hash.0))
+            });
+            let from_disk = match (best_mem.as_ref(), best_disk) {
+                (Some((dm, _)), Some((dd, h))) if dd < *dm => Some(h),
                 (None, Some((_, h))) => Some(h),
                 _ => None,
             };
             match from_disk {
                 Some(h) => {
-                    if let Some(entry) = inner.promote_from_disk(h) {
-                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(entry) = self.promote_from_disk(h) {
+                        self.inner.warm_hits.fetch_add(1, Ordering::Relaxed);
                         return Lookup::Warm(entry);
                     }
                     // Corrupt candidate was skipped; rescan.
                 }
                 None => {
                     return match best_mem {
-                        Some((_, h)) => {
-                            self.warm_hits.fetch_add(1, Ordering::Relaxed);
-                            Lookup::Warm(Arc::clone(&inner.by_hash[&h]))
+                        Some((_, surface)) => {
+                            self.inner.warm_hits.fetch_add(1, Ordering::Relaxed);
+                            Lookup::Warm(surface)
                         }
                         None => {
-                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            self.inner.misses.fetch_add(1, Ordering::Relaxed);
                             Lookup::Miss
                         }
                     };
                 }
             }
+        }
+    }
+
+    /// The nearest same-shape in-memory neighbour within the warm radius
+    /// (ties broken toward the earliest deposit — the deterministic scan
+    /// order), plus the set of all in-memory hashes (so the disk scan can
+    /// skip entries already considered here). Shards are scanned one read
+    /// lock at a time; a deposit racing the scan may be missed this
+    /// round, exactly as it could have missed the old cache-wide mutex.
+    fn best_memory_candidate(
+        &self,
+        shape: ShapeKey,
+        fingerprint: &[f64],
+    ) -> (Option<(f64, Arc<CachedSurface>)>, HashSet<u64>) {
+        let mut best: Option<(f64, u64, Arc<CachedSurface>)> = None;
+        let mut in_memory = HashSet::new();
+        for i in 0..SHARD_COUNT {
+            let shard = self.shard_read(i);
+            for (&h, entry) in &shard.by_hash {
+                in_memory.insert(h);
+                if entry.surface.shape != shape {
+                    continue;
+                }
+                let d = fingerprint_distance(&entry.surface.fingerprint, fingerprint);
+                if d > self.inner.warm_radius {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bd, bseq, _)) => d < *bd || (d == *bd && entry.seq < *bseq),
+                };
+                if better {
+                    best = Some((d, entry.seq, Arc::clone(&entry.surface)));
+                }
+            }
+        }
+        (best.map(|(d, _, s)| (d, s)), in_memory)
+    }
+
+    /// The nearest same-shape cached neighbour of `fingerprint` within
+    /// the warm radius — in memory or in the persistent index — without
+    /// restoring anything from disk and without touching the hit/miss
+    /// telemetry. This is the serving front-end's "near miss" probe: it
+    /// answers "what would a warm start use, and what did it cost?"
+    /// from index metadata alone.
+    pub fn nearest_neighbour(&self, shape: ShapeKey, fingerprint: &[f64]) -> Option<NeighbourInfo> {
+        let (best_mem, in_memory) = self.best_memory_candidate(shape, fingerprint);
+        let best_mem = best_mem.map(|(d, s)| NeighbourInfo {
+            hash: HashId(s.hash),
+            distance: d,
+            cost_seconds: s.cost_seconds,
+        });
+        let best_disk = self.store().and_then(|store| {
+            store
+                .best_candidate(shape, fingerprint, self.inner.warm_radius, |h| {
+                    in_memory.contains(&h)
+                })
+                .map(|(d, entry)| NeighbourInfo {
+                    hash: entry.hash,
+                    distance: d,
+                    cost_seconds: entry.cost_seconds,
+                })
+        });
+        match (best_mem, best_disk) {
+            (Some(m), Some(d)) => Some(if d.distance < m.distance { d } else { m }),
+            (m, d) => m.or(d),
         }
     }
 
@@ -394,22 +727,27 @@ impl SurfaceCache {
             final_sup_change,
             cost_seconds,
         });
-        let mut inner = self.inner.lock().unwrap();
-        if inner.by_hash.insert(hash, Arc::clone(&surface)).is_none() {
-            inner.order.push(hash);
+        {
+            let mut shard = self.shard_write(shard_of(hash));
+            match shard.by_hash.get_mut(&hash) {
+                Some(entry) => entry.surface = Arc::clone(&surface), // keep the eviction slot
+                None => {
+                    let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+                    shard.by_hash.insert(
+                        hash,
+                        ShardEntry {
+                            seq,
+                            surface: Arc::clone(&surface),
+                        },
+                    );
+                }
+            }
         }
-        let Inner {
-            by_hash,
-            order,
-            store,
-        } = &mut *inner;
-        if let Some(store) = store {
+        if let Some(store) = self.store() {
             match store.insert(&surface) {
                 Ok(evicted) => {
                     for h in evicted {
-                        if by_hash.remove(&h).is_some() {
-                            order.retain(|&x| x != h);
-                        }
+                        self.shard_write(shard_of(h)).by_hash.remove(&h);
                     }
                 }
                 Err(e) => eprintln!(
@@ -426,50 +764,47 @@ impl SurfaceCache {
     /// next sweep's fleet assignment; persisted costs make it survive
     /// process restarts.
     pub fn estimated_cost(&self, shape: ShapeKey, fingerprint: &[f64]) -> Option<f64> {
-        let inner = self.inner.lock().unwrap();
-        let mut best: Option<(f64, f64)> = None;
-        for h in &inner.order {
-            let entry = &inner.by_hash[h];
-            if entry.shape != shape {
-                continue;
-            }
-            let d = fingerprint_distance(&entry.fingerprint, fingerprint);
-            if d <= self.warm_radius && best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, entry.cost_seconds));
-            }
-        }
-        if let Some((d, entry)) = inner.best_disk_candidate(shape, fingerprint, self.warm_radius) {
-            if best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, entry.cost_seconds));
-            }
-        }
-        best.map(|(_, cost)| cost)
+        self.nearest_neighbour(shape, fingerprint)
+            .map(|n| n.cost_seconds)
     }
 
     /// Telemetry snapshot.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
-        let (persisted_entries, persisted_bytes, evictions, skipped) = match &inner.store {
-            Some(store) => (
-                store.len(),
-                store.total_bytes(),
-                store.evictions(),
-                store.skipped(),
-            ),
-            None => (0, 0, 0, 0),
-        };
+        let entries = (0..SHARD_COUNT)
+            .map(|i| self.shard_read(i).by_hash.len())
+            .sum();
+        let (persisted_entries, persisted_bytes, evictions, skipped, store_poisonings) =
+            match self.store() {
+                Some(store) => (
+                    store.len(),
+                    store.total_bytes(),
+                    store.evictions(),
+                    store.skipped(),
+                    store.poisonings(),
+                ),
+                None => (0, 0, 0, 0, 0),
+            };
         CacheStats {
-            entries: inner.order.len(),
+            entries,
             persisted_entries,
             persisted_bytes,
-            exact_hits: self.exact_hits.load(Ordering::Relaxed),
-            warm_hits: self.warm_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            exact_hits: self.inner.exact_hits.load(Ordering::Relaxed),
+            warm_hits: self.inner.warm_hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            disk_hits: self.inner.disk_hits.load(Ordering::Relaxed),
             evictions,
             skipped,
+            lock_poisonings: self.inner.lock_poisonings.load(Ordering::Relaxed) + store_poisonings,
+            concurrent_restores_peak: self.inner.restore_peak.load(Ordering::SeqCst),
         }
     }
+}
+
+/// Shard index of a hash. The scenario hash is FNV-1a — already
+/// well-mixed — so the low bits select the shard directly.
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    (hash as usize) % SHARD_COUNT
 }
 
 /// Why a cached surface could not be projected onto a target domain box.
@@ -644,6 +979,25 @@ mod tests {
     }
 
     #[test]
+    fn equal_distance_ties_prefer_the_earliest_deposit() {
+        // Hashes 10 and 26 land in the same shard (26 % 16 == 10), 11 in
+        // another; all three sit at identical fingerprint distance from
+        // the query. The winner must be the earliest deposit (seq order),
+        // independent of shard layout or HashMap iteration order.
+        let cache = SurfaceCache::new(0.2);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 0.0);
+        cache.store_policy(26, shape(), vec![0.96], &policy, 5, 1e-8, 0.1);
+        cache.store_policy(11, shape(), vec![0.96], &policy, 5, 1e-8, 0.2);
+        cache.store_policy(10, shape(), vec![0.96], &policy, 5, 1e-8, 0.3);
+        match cache.lookup(99, shape(), &[0.95], true) {
+            Lookup::Warm(s) => assert_eq!(s.hash, 26, "earliest deposit wins ties"),
+            other => panic!("expected warm, got {other:?}"),
+        }
+        assert_eq!(cache.estimated_cost(shape(), &[0.95]), Some(0.1));
+    }
+
+    #[test]
     fn cached_surface_restores_bitwise() {
         let cache = SurfaceCache::default();
         let domain = BoxDomain::new(vec![-1.0, 2.0], vec![1.0, 5.0]);
@@ -766,5 +1120,89 @@ mod tests {
         cache.store_policy(2, shape(), vec![0.96], &policy, 5, 1e-8, 2.5);
         assert_eq!(cache.estimated_cost(shape(), &[0.95]), Some(2.5));
         assert_eq!(cache.estimated_cost(shape(), &[0.90]), Some(1.5));
+    }
+
+    #[test]
+    fn nearest_neighbour_peeks_without_touching_hit_telemetry() {
+        let cache = SurfaceCache::new(0.05);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 2.0);
+        cache.store_policy(77, shape(), vec![0.95, 2.0], &policy, 9, 1e-8, 0.5);
+
+        let near = cache.nearest_neighbour(shape(), &[0.951, 2.0]).unwrap();
+        assert_eq!(near.hash, HashId(77));
+        assert!(near.distance > 0.0 && near.distance <= 0.05);
+        assert_eq!(near.cost_seconds, 0.5);
+        // Out of radius / wrong shape → None.
+        assert!(cache.nearest_neighbour(shape(), &[0.5, 2.0]).is_none());
+        // The peek is invisible to the hit/miss counters.
+        let stats = cache.stats();
+        assert_eq!((stats.exact_hits, stats.warm_hits, stats.misses), (0, 0, 0));
+    }
+
+    #[test]
+    fn lookup_exact_probe_counts_hits_but_never_misses() {
+        let cache = SurfaceCache::new(0.05);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 2.0);
+        cache.store_policy(77, shape(), vec![0.95, 2.0], &policy, 9, 1e-8, 0.5);
+
+        // Probe misses (unknown hash, colliding fingerprint) count
+        // nothing: the enqueued solve's own lookup will account for them.
+        assert!(cache.lookup_exact(99, shape(), &[0.95, 2.0]).is_none());
+        assert!(cache.lookup_exact(77, shape(), &[0.5, 2.0]).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.exact_hits, stats.misses), (0, 0));
+
+        // A probe hit counts as an exact hit, like the full lookup.
+        let surface = cache.lookup_exact(77, shape(), &[0.95, 2.0]).unwrap();
+        assert_eq!(surface.hash, 77);
+        let stats = cache.stats();
+        assert_eq!((stats.exact_hits, stats.misses), (1, 0));
+    }
+
+    #[test]
+    fn clones_share_entries_and_telemetry() {
+        let cache = SurfaceCache::new(0.05);
+        let clone = cache.clone();
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 2.0);
+        cache.store_policy(7, shape(), vec![0.95, 2.0], &policy, 9, 1e-8, 0.5);
+        assert!(matches!(
+            clone.lookup(7, shape(), &[0.95, 2.0], false),
+            Lookup::Exact(_)
+        ));
+        assert_eq!(cache.stats().exact_hits, 1);
+        assert_eq!(clone.stats().entries, 1);
+    }
+
+    #[test]
+    fn poisoned_shard_locks_are_recovered_and_counted() {
+        let cache = SurfaceCache::new(0.05);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 2.0);
+        cache.store_policy(77, shape(), vec![0.95, 2.0], &policy, 9, 1e-8, 0.5);
+
+        // Panic while holding the write lock of hash 77's shard — the
+        // cross-thread situation a crashing sweep thread creates.
+        let poisoner = cache.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.shards[shard_of(77)].write().unwrap();
+            panic!("poison the shard");
+        })
+        .join();
+
+        // Every path over the poisoned shard still works…
+        assert!(matches!(
+            cache.lookup(77, shape(), &[0.95, 2.0], true),
+            Lookup::Exact(_)
+        ));
+        cache.store_policy(77 + 16, shape(), vec![0.96, 2.0], &policy, 9, 1e-8, 0.5);
+        assert_eq!(cache.stats().entries, 2);
+        // …and the recovery is visible in the telemetry.
+        assert!(
+            cache.stats().lock_poisonings >= 1,
+            "poisoning recovery must be counted"
+        );
     }
 }

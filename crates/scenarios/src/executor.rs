@@ -4,6 +4,23 @@
 //! (`hddm_sched::parallel_for_init`), with the policy-surface cache
 //! supplying exact hits and warm starts.
 //!
+//! Two entry points:
+//!
+//! * [`run_set`] — the one-shot sweep: execute the whole set, block, and
+//!   return the full [`SweepReport`];
+//! * [`run_batch`] — the incremental form the serving front-end builds
+//!   on: accept a batch, return immediately with a [`BatchHandle`], and
+//!   stream per-scenario results as they complete ([`BatchHandle::recv`]);
+//!   [`BatchHandle::join`] waits for the rest and assembles the same
+//!   [`SweepReport`] `run_set` produces (`run_set` *is*
+//!   `run_batch(...)` + `join`).
+//!
+//! Result collection is lock-free on the hot path: each pool worker owns
+//! a cloned channel sender (via `parallel_for_init`'s per-worker state)
+//! and sends `(index, result)` as each scenario finishes — no shared
+//! `Mutex<Vec<...>>` serializing completions. Failures are typed
+//! ([`ExecutorError`]), never bare strings.
+//!
 //! Cost model feedback: the fleet assignment is computed from
 //! per-scenario cost estimates. Before anything has run, the estimate is
 //! an analytic point-count model; once the cache holds measured costs of
@@ -13,7 +30,8 @@
 //! of the measured costs, making the estimate error visible.
 
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 use hddm_asg::regular_grid_size;
@@ -28,6 +46,62 @@ use crate::hash::{fingerprint, scenario_hash, HashId};
 use crate::persist::EvictionPolicy;
 use crate::report::{CacheKind, FleetSummary, ScenarioReport, SweepReport};
 use crate::scenario::{Scenario, ScenarioSet};
+
+/// One streamed completion: the scenario's index within its set plus its
+/// result.
+type BatchItem = (usize, Result<ScenarioReport, ExecutorError>);
+
+/// Why the executor could not run (or finish) a scenario or a set.
+/// Typed so callers — the serving front-end above all — can route each
+/// failure: reject the request, fail one ticket, or fall back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// The scenario set contained no scenarios.
+    EmptySet,
+    /// The simulated fleet contained no workers.
+    EmptyFleet,
+    /// A scenario failed validation before execution.
+    InvalidScenario {
+        /// Display name of the offending scenario.
+        name: String,
+        /// The validation diagnostic.
+        reason: String,
+    },
+    /// The scenario's OLG model could not be built (steady-state /
+    /// calibration failure at execution time).
+    Model {
+        /// Display name of the offending scenario.
+        name: String,
+        /// The model-construction diagnostic.
+        reason: String,
+    },
+    /// A pool worker died without delivering this scenario's result
+    /// (a bug or a panic in the worker).
+    MissingResult {
+        /// Index of the undelivered scenario within its set.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutorError::EmptySet => write!(f, "empty scenario set"),
+            ExecutorError::EmptyFleet => write!(f, "executor fleet is empty"),
+            ExecutorError::InvalidScenario { name, reason } => {
+                write!(f, "invalid scenario {name:?}: {reason}")
+            }
+            ExecutorError::Model { name, reason } => {
+                write!(f, "model build failed for scenario {name:?}: {reason}")
+            }
+            ExecutorError::MissingResult { index } => {
+                write!(f, "scenario {index} was never executed (worker lost)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
 
 /// Executor configuration: the simulated fleet the sweep is scheduled
 /// onto, the host resources it actually runs with, and the (optional)
@@ -94,14 +168,10 @@ impl ExecutorConfig {
     }
 }
 
-/// The scenario's state-space shape, derivable without solving the
-/// steady state.
+/// The scenario's state-space shape ([`ShapeKey::of`] — the shared
+/// derivation the serving front-end uses too).
 fn shape_of(scenario: &Scenario) -> ShapeKey {
-    ShapeKey {
-        dim: scenario.calibration.dim(),
-        ndofs: scenario.calibration.ndofs(),
-        num_states: scenario.calibration.num_states(),
-    }
+    ShapeKey::of(scenario)
 }
 
 /// Analytic cost estimate in arbitrary reference units: grid points ×
@@ -146,7 +216,7 @@ fn solve_one(
     scenario: &Scenario,
     cache: &SurfaceCache,
     config: &ExecutorConfig,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ExecutorError> {
     let start = Instant::now();
     let hash = scenario_hash(scenario);
     let shape = shape_of(scenario);
@@ -156,27 +226,19 @@ fn solve_one(
     let looked_up = cache.lookup(hash, shape, &fp, config.warm_start);
     if let Lookup::Exact(surface) = &looked_up {
         // Identical scenario already solved: the surface is the answer.
-        let grid_points = surface
-            .records
-            .iter()
-            .map(|r| r.surplus.len() / shape.ndofs)
-            .sum();
-        return Ok(ScenarioReport {
-            name: scenario.name.clone(),
-            hash: HashId(hash),
-            steps: 0,
-            converged: true,
-            final_sup_change: surface.final_sup_change,
-            solver_failures: 0,
-            grid_points,
-            wall_seconds: start.elapsed().as_secs_f64(),
-            cache: CacheKind::Exact,
-            warm_source: None,
-            worker: String::new(),
-        });
+        return Ok(ScenarioReport::from_exact_hit(
+            &scenario.name,
+            surface,
+            start.elapsed().as_secs_f64(),
+        ));
     }
 
-    let model = scenario.build_model()?;
+    let model = scenario
+        .build_model()
+        .map_err(|reason| ExecutorError::Model {
+            name: scenario.name.clone(),
+            reason,
+        })?;
     let newton = NewtonOptions {
         max_iterations: scenario.solve.newton_max_iterations,
         ..Default::default()
@@ -250,81 +312,215 @@ pub fn run_single(
     scenario: &Scenario,
     cache: &SurfaceCache,
     config: &ExecutorConfig,
-) -> Result<ScenarioReport, String> {
-    scenario.validate()?;
+) -> Result<ScenarioReport, ExecutorError> {
+    scenario
+        .validate()
+        .map_err(|reason| ExecutorError::InvalidScenario {
+            name: scenario.name.clone(),
+            reason,
+        })?;
     let mut report = solve_one(scenario, cache, config)?;
     report.worker = "local".into();
     Ok(report)
 }
 
-/// Runs a whole scenario set: estimates costs (cache feedback first,
-/// analytic model otherwise), assigns scenarios to the simulated fleet,
-/// executes them across host threads, then replays the schedule with the
-/// measured costs. Returns the full [`SweepReport`].
-pub fn run_set(
-    set: &ScenarioSet,
-    cache: &SurfaceCache,
-    config: &ExecutorConfig,
-) -> Result<SweepReport, String> {
+/// A dispatched batch: per-scenario results stream out of
+/// [`BatchHandle::recv`] as pool workers complete them (in completion
+/// order, not set order); [`BatchHandle::join`] waits for the rest and
+/// assembles the full [`SweepReport`]. Dropping the handle waits for the
+/// batch to finish (results are discarded).
+pub struct BatchHandle {
+    rx: Receiver<BatchItem>,
+    slots: Vec<Option<Result<ScenarioReport, ExecutorError>>>,
+    delivered: usize,
+    planned: FleetSummary,
+    fleet: Vec<WorkerSpec>,
+    assignment: Assignment,
+    cache: SurfaceCache,
+    started: Instant,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl BatchHandle {
+    /// Number of scenarios in the batch.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the batch is empty (never true: empty sets are rejected).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The fleet schedule planned from the pre-run cost estimates.
+    pub fn planned(&self) -> &FleetSummary {
+        &self.planned
+    }
+
+    /// The next completed scenario, blocking until one finishes:
+    /// `(index within the set, its result)`. `None` once every result
+    /// has been delivered — or when the executor thread died without
+    /// delivering the rest (the missing ones surface as
+    /// [`ExecutorError::MissingResult`] from [`BatchHandle::join`]).
+    pub fn recv(&mut self) -> Option<BatchItem> {
+        if self.delivered == self.slots.len() {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok((i, result)) => {
+                self.slots[i] = Some(result.clone());
+                self.delivered += 1;
+                Some((i, result))
+            }
+            Err(_) => None, // executor thread gone; join() reports the holes
+        }
+    }
+
+    /// Waits for every remaining scenario and assembles the
+    /// [`SweepReport`] (identical to what [`run_set`] returns). The first
+    /// per-scenario error in set order fails the whole batch, matching
+    /// the historical whole-set semantics; callers that want per-scenario
+    /// error routing stream through [`BatchHandle::recv`] instead.
+    pub fn join(mut self) -> Result<SweepReport, ExecutorError> {
+        while self.recv().is_some() {}
+        if let Some(worker) = self.worker.take() {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        let total_wall_seconds = self.started.elapsed().as_secs_f64();
+
+        let mut scenarios = Vec::with_capacity(self.slots.len());
+        for (i, slot) in std::mem::take(&mut self.slots).into_iter().enumerate() {
+            match slot {
+                Some(Ok(report)) => scenarios.push(report),
+                Some(Err(e)) => return Err(e),
+                None => return Err(ExecutorError::MissingResult { index: i }),
+            }
+        }
+
+        let measured: Vec<f64> = scenarios.iter().map(|s| s.wall_seconds).collect();
+        let (replayed, _) = schedule_with_map(&self.fleet, &measured, self.assignment);
+        let worker_names: Vec<String> = self.fleet.iter().map(|w| w.name.clone()).collect();
+
+        let count = |kind: CacheKind| scenarios.iter().filter(|s| s.cache == kind).count();
+        Ok(SweepReport {
+            exact_hits: count(CacheKind::Exact),
+            warm_starts: count(CacheKind::Warm),
+            cold_solves: count(CacheKind::Cold),
+            scenarios,
+            planned: self.planned.clone(),
+            replayed: FleetSummary::new(worker_names, replayed),
+            cache_stats: self.cache.stats(),
+            total_wall_seconds,
+        })
+    }
+}
+
+impl Drop for BatchHandle {
+    fn drop(&mut self) {
+        // Never leak a running executor thread: drain whatever is still
+        // coming and join. A panic in the worker is swallowed here (the
+        // handle is being discarded); `join()` propagates it instead.
+        while self.delivered < self.slots.len() && self.rx.recv().is_ok() {
+            self.delivered += 1;
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Dispatches a scenario batch to the pool and returns immediately with
+/// a [`BatchHandle`] streaming per-scenario results. This is the
+/// incremental entry point the serving front-end coalesces micro-batches
+/// onto; [`run_set`] is the blocking wrapper.
+///
+/// Validates the whole batch up front (typed [`ExecutorError`]s), plans
+/// the fleet assignment from current cost estimates, then executes on a
+/// detached worker thread running the scenario-level pool.
+pub fn run_batch(
+    set: ScenarioSet,
+    cache: SurfaceCache,
+    config: ExecutorConfig,
+) -> Result<BatchHandle, ExecutorError> {
     if set.is_empty() {
-        return Err("empty scenario set".into());
+        return Err(ExecutorError::EmptySet);
     }
     for scenario in &set.scenarios {
-        scenario.validate()?;
+        scenario
+            .validate()
+            .map_err(|reason| ExecutorError::InvalidScenario {
+                name: scenario.name.clone(),
+                reason,
+            })?;
     }
     if config.fleet.is_empty() {
-        return Err("executor fleet is empty".into());
+        return Err(ExecutorError::EmptyFleet);
     }
 
     let estimates: Vec<f64> = set
         .scenarios
         .iter()
-        .map(|s| estimate_cost(s, cache))
+        .map(|s| estimate_cost(s, &cache))
         .collect();
     let (planned, map) = schedule_with_map(&config.fleet, &estimates, config.assignment);
     let worker_names: Vec<String> = config.fleet.iter().map(|w| w.name.clone()).collect();
+    let planned = FleetSummary::new(worker_names.clone(), planned);
 
-    let sweep_start = Instant::now();
     let n = set.len();
-    let results: Mutex<Vec<Option<Result<ScenarioReport, String>>>> = Mutex::new(vec![None; n]);
-    parallel_for_init(
-        n,
-        &PoolConfig {
+    let (tx, rx): (Sender<BatchItem>, Receiver<BatchItem>) = channel();
+
+    let started = Instant::now();
+    let fleet = config.fleet.clone();
+    let assignment = config.assignment;
+    let thread_cache = cache.clone();
+    let worker = std::thread::spawn(move || {
+        let pool = PoolConfig {
             threads: config.threads,
             grain: 1,
-        },
-        || (),
-        |(), i| {
-            let mut result = solve_one(&set.scenarios[i], cache, config);
-            if let Ok(report) = &mut result {
-                report.worker = worker_names[map[i]].clone();
-            }
-            results.lock().unwrap()[i] = Some(result);
-        },
-    );
-    let total_wall_seconds = sweep_start.elapsed().as_secs_f64();
+        };
+        // Each pool worker owns a cloned sender (per-worker init state):
+        // completions stream out lock-free instead of serializing on a
+        // shared results mutex.
+        parallel_for_init(
+            n,
+            &pool,
+            || tx.clone(),
+            |tx, i| {
+                let mut result = solve_one(&set.scenarios[i], &thread_cache, &config);
+                if let Ok(report) = &mut result {
+                    report.worker = worker_names[map[i]].clone();
+                }
+                let _ = tx.send((i, result));
+            },
+        );
+    });
 
-    let mut scenarios = Vec::with_capacity(n);
-    for (i, slot) in results.into_inner().unwrap().into_iter().enumerate() {
-        let report =
-            slot.unwrap_or_else(|| Err(format!("scenario {i} was never executed (pool bug)")))?;
-        scenarios.push(report);
-    }
-
-    let measured: Vec<f64> = scenarios.iter().map(|s| s.wall_seconds).collect();
-    let (replayed, _) = schedule_with_map(&config.fleet, &measured, config.assignment);
-
-    let count = |kind: CacheKind| scenarios.iter().filter(|s| s.cache == kind).count();
-    Ok(SweepReport {
-        exact_hits: count(CacheKind::Exact),
-        warm_starts: count(CacheKind::Warm),
-        cold_solves: count(CacheKind::Cold),
-        scenarios,
-        planned: FleetSummary::new(worker_names.clone(), planned),
-        replayed: FleetSummary::new(worker_names, replayed),
-        cache_stats: cache.stats(),
-        total_wall_seconds,
+    Ok(BatchHandle {
+        rx,
+        slots: vec![None; n],
+        delivered: 0,
+        planned,
+        fleet,
+        assignment,
+        cache,
+        started,
+        worker: Some(worker),
     })
+}
+
+/// Runs a whole scenario set: estimates costs (cache feedback first,
+/// analytic model otherwise), assigns scenarios to the simulated fleet,
+/// executes them across host threads, then replays the schedule with the
+/// measured costs. Returns the full [`SweepReport`]. Equivalent to
+/// [`run_batch`] followed by [`BatchHandle::join`].
+pub fn run_set(
+    set: &ScenarioSet,
+    cache: &SurfaceCache,
+    config: &ExecutorConfig,
+) -> Result<SweepReport, ExecutorError> {
+    run_batch(set.clone(), cache.clone(), config.clone())?.join()
 }
 
 #[cfg(test)]
@@ -428,6 +624,33 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_streams_results_as_they_complete() {
+        let cache = SurfaceCache::default();
+        let set = ScenarioSet::grid(&base(), &[(Knob::Beta, vec![0.949, 0.95, 0.951])]).unwrap();
+        let mut handle = run_batch(set.clone(), cache.clone(), ExecutorConfig::serial()).unwrap();
+        assert_eq!(handle.len(), 3);
+        assert_eq!(handle.planned().schedule.tasks.iter().sum::<usize>(), 3);
+
+        let mut seen = Vec::new();
+        while let Some((i, result)) = handle.recv() {
+            let report = result.unwrap();
+            assert!(report.converged);
+            assert_eq!(report.name, set.scenarios[i].name);
+            seen.push(i);
+        }
+        assert_eq!(seen.len(), 3);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "every index delivered exactly once");
+
+        // join() after streaming still assembles the aggregate report.
+        let report = handle.join().unwrap();
+        assert_eq!(report.scenarios.len(), 3);
+        assert!(report.all_converged());
+        assert_eq!(report.cold_solves + report.warm_starts, 3);
+    }
+
+    #[test]
     fn cost_feedback_changes_the_estimates_after_a_sweep() {
         let cache = SurfaceCache::default();
         let scenario = base();
@@ -441,7 +664,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_sets_and_empty_fleets_are_rejected() {
+    fn empty_sets_and_empty_fleets_are_rejected_with_typed_errors() {
         let cache = SurfaceCache::default();
         let err = run_set(
             &ScenarioSet { scenarios: vec![] },
@@ -449,7 +672,8 @@ mod tests {
             &ExecutorConfig::serial(),
         )
         .unwrap_err();
-        assert!(err.contains("empty"));
+        assert_eq!(err, ExecutorError::EmptySet);
+        assert!(err.to_string().contains("empty"));
         let err = run_set(
             &ScenarioSet::single(base()),
             &cache,
@@ -459,6 +683,19 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(err.contains("fleet"));
+        assert_eq!(err, ExecutorError::EmptyFleet);
+        assert!(err.to_string().contains("fleet"));
+
+        // Invalid scenarios are named in the typed error.
+        let mut bad = base();
+        bad.solve.tolerance = -1.0;
+        let err = run_single(&bad, &cache, &ExecutorConfig::serial()).unwrap_err();
+        match err {
+            ExecutorError::InvalidScenario { name, reason } => {
+                assert_eq!(name, "exec");
+                assert!(reason.contains("tolerance"), "{reason}");
+            }
+            other => panic!("expected InvalidScenario, got {other:?}"),
+        }
     }
 }

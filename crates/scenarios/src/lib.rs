@@ -54,8 +54,11 @@ pub mod persist;
 pub mod report;
 pub mod scenario;
 
-pub use cache::{CacheStats, CachedSurface, Lookup, ProjectionError, ShapeKey, SurfaceCache};
-pub use executor::{run_set, run_single, ExecutorConfig};
+pub use cache::{
+    CacheStats, CachedSurface, Lookup, NeighbourInfo, ProjectionError, RestoreHook, ShapeKey,
+    SurfaceCache,
+};
+pub use executor::{run_batch, run_set, run_single, BatchHandle, ExecutorConfig, ExecutorError};
 pub use hash::{fingerprint, fingerprint_distance, scenario_hash, HashId, ScenarioHasher};
 pub use persist::{EvictionPolicy, ManifestEntry, MANIFEST_FILE, PERSIST_VERSION};
 pub use report::{CacheKind, FleetSummary, ScenarioReport, SweepReport};

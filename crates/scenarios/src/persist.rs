@@ -28,22 +28,29 @@
 //!   max-bytes bounds ([`EvictionPolicy`]), applied on every deposit, so
 //!   the directory provably never exceeds the configured budget.
 //!
-//! Known limitation: record-file reads and writes happen under the
-//! owning cache's mutex, so concurrent sweep threads serialize on disk
-//! restores. Correct, but it leaves lazy-restore parallelism on the
-//! table; moving the I/O outside the lock (clone entry metadata, read,
-//! re-validate, re-lock to insert) is the planned follow-on for the
-//! async serving front-end.
+//! Concurrency: the index lives behind an `RwLock`, so any number of
+//! readers can consult it simultaneously, and **record-file I/O happens
+//! outside every lock**. The read path is: snapshot the [`ManifestEntry`]
+//! under the read lock, release it, read + validate the record file with
+//! no lock held, then hand the surface to the owning cache for promotion.
+//! Deposits serialize against each other on a writer mutex (the manifest
+//! rewrite must be ordered), but the record file itself is written before
+//! the mutex is taken — concurrent readers never wait on a writer's disk
+//! I/O, and vice versa. This removes the single-hot-path bottleneck the
+//! serving front-end needs gone: N clients restoring N different surfaces
+//! proceed in parallel.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
 use serde::{Deserialize, Serialize};
 
 use hddm_core::StateRecord;
 
 use crate::cache::{CachedSurface, ShapeKey};
-use crate::hash::HashId;
+use crate::hash::{fingerprint_distance, HashId};
 
 /// Current on-disk format version of the manifest and record files.
 pub const PERSIST_VERSION: u32 = 1;
@@ -119,9 +126,14 @@ pub fn surface_file_name(hash: u64) -> String {
 /// Writes `text` to `path` atomically: temp file in the same directory,
 /// then rename. The dot-prefixed temp name can never be mistaken for a
 /// record file, and a crash between the two steps leaves the previous
-/// version of `path` intact.
+/// version of `path` intact. The temp name carries a process-wide counter
+/// on top of the pid: record files are now written outside the store's
+/// locks, so two threads depositing the same surface concurrently must
+/// not collide on the temp path.
 fn write_atomic(dir: &Path, name: &str, text: &str) -> Result<(), String> {
-    let tmp = dir.join(format!(".tmp-{}-{name}", std::process::id()));
+    static TMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let unique = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!(".tmp-{}-{unique}-{name}", std::process::id()));
     let target = dir.join(name);
     fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
     fs::rename(&tmp, &target).map_err(|e| {
@@ -132,15 +144,26 @@ fn write_atomic(dir: &Path, name: &str, text: &str) -> Result<(), String> {
 }
 
 /// The persistent backing store of a `SurfaceCache`: a cache directory,
-/// its parsed manifest index, and the eviction policy. All mutation goes
-/// through the owning cache's lock.
+/// its parsed manifest index, and the eviction policy.
+///
+/// Lock discipline (all internal — the owning cache never holds its own
+/// shard locks across a store call):
+///
+/// * `index` (`RwLock`) — the manifest rows. Read-mostly; lookups and
+///   cost estimation take the read lock, snapshot what they need, and
+///   release before any file I/O.
+/// * `writer` (`Mutex`) — serializes mutations (deposit, corrupt-entry
+///   discard) so the manifest on disk is always the last writer's view.
+///   Record-file writes happen *before* the writer lock is taken.
 #[derive(Debug)]
 pub(crate) struct Store {
     dir: PathBuf,
     policy: EvictionPolicy,
-    entries: Vec<ManifestEntry>,
-    evictions: usize,
-    skipped: usize,
+    index: RwLock<Vec<ManifestEntry>>,
+    writer: Mutex<()>,
+    evictions: AtomicUsize,
+    skipped: AtomicUsize,
+    poisonings: AtomicUsize,
 }
 
 impl Store {
@@ -156,19 +179,14 @@ impl Store {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir).map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
 
-        let mut store = Store {
-            dir,
-            policy,
-            entries: Vec::new(),
-            evictions: 0,
-            skipped: 0,
-        };
-        let manifest_path = store.dir.join(MANIFEST_FILE);
+        let mut entries = Vec::new();
+        let mut skipped = 0usize;
+        let manifest_path = dir.join(MANIFEST_FILE);
         if manifest_path.exists() {
             match fs::read_to_string(&manifest_path) {
                 Ok(text) => match serde_json::from_str::<Manifest>(&text) {
                     Ok(manifest) if manifest.version == PERSIST_VERSION => {
-                        store.entries = manifest.entries;
+                        entries = manifest.entries;
                     }
                     Ok(manifest) => {
                         warn(&format!(
@@ -180,14 +198,14 @@ impl Store {
                         ));
                         // The now-unreferenced record files are counted
                         // (and deleted) by the sweep below.
-                        store.skipped += 1;
+                        skipped += 1;
                     }
                     Err(e) => {
                         warn(&format!(
                             "corrupt cache manifest {} ({e}); starting empty",
                             manifest_path.display()
                         ));
-                        store.skipped += 1;
+                        skipped += 1;
                     }
                 },
                 Err(e) => {
@@ -195,7 +213,7 @@ impl Store {
                         "unreadable cache manifest {} ({e}); starting empty",
                         manifest_path.display()
                     ));
-                    store.skipped += 1;
+                    skipped += 1;
                 }
             }
         }
@@ -205,22 +223,64 @@ impl Store {
         // the record write and the manifest write — or by a skipped
         // manifest above. Without this, unindexed files would accumulate
         // outside the eviction budget forever.
-        if let Ok(listing) = fs::read_dir(&store.dir) {
+        if let Ok(listing) = fs::read_dir(&dir) {
             for entry in listing.flatten() {
                 let name = entry.file_name().to_string_lossy().into_owned();
                 if name.starts_with(".tmp-") {
                     let _ = fs::remove_file(entry.path());
                 } else if name.starts_with("surface-")
                     && name.ends_with(".json")
-                    && !store.entries.iter().any(|e| e.file == name)
+                    && !entries.iter().any(|e| e.file == name)
                 {
                     warn(&format!("removing unindexed cache record {name}"));
                     let _ = fs::remove_file(entry.path());
-                    store.skipped += 1;
+                    skipped += 1;
                 }
             }
         }
-        Ok(store)
+        Ok(Store {
+            dir,
+            policy,
+            index: RwLock::new(entries),
+            writer: Mutex::new(()),
+            evictions: AtomicUsize::new(0),
+            skipped: AtomicUsize::new(skipped),
+            poisonings: AtomicUsize::new(0),
+        })
+    }
+
+    // Poisoned guards are recovered, cleared, and counted: the guarded
+    // state (the index vector) is consistent at every point a panic can
+    // interrupt it, so a crashing thread must not cascade. The count
+    // rolls up into `CacheStats::lock_poisonings`.
+
+    fn index_read(&self) -> std::sync::RwLockReadGuard<'_, Vec<ManifestEntry>> {
+        self.index.read().unwrap_or_else(|poisoned| {
+            self.poisonings.fetch_add(1, Ordering::Relaxed);
+            self.index.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    fn index_write(&self) -> std::sync::RwLockWriteGuard<'_, Vec<ManifestEntry>> {
+        self.index.write().unwrap_or_else(|poisoned| {
+            self.poisonings.fetch_add(1, Ordering::Relaxed);
+            self.index.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    fn writer_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.writer.lock().unwrap_or_else(|poisoned| {
+            self.poisonings.fetch_add(1, Ordering::Relaxed);
+            self.writer.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Poisoned store locks recovered over this store's lifetime.
+    pub fn poisonings(&self) -> usize {
+        self.poisonings.load(Ordering::Relaxed)
     }
 
     /// The cache directory.
@@ -230,38 +290,104 @@ impl Store {
 
     /// Number of persisted surfaces in the index.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index_read().len()
     }
 
     /// Total bytes of the persisted record files per the index.
     pub fn total_bytes(&self) -> u64 {
-        self.entries.iter().map(|e| e.bytes).sum()
+        self.index_read().iter().map(|e| e.bytes).sum()
     }
 
     /// Entries evicted over this store's lifetime.
     pub fn evictions(&self) -> usize {
-        self.evictions
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Corrupt / version-mismatched artifacts skipped over this store's
     /// lifetime.
     pub fn skipped(&self) -> usize {
-        self.skipped
+        self.skipped.load(Ordering::Relaxed)
     }
 
-    /// Iterates the index in insertion (= eviction) order.
-    pub fn entries(&self) -> impl Iterator<Item = &ManifestEntry> {
-        self.entries.iter()
+    /// Whether `hash` is currently indexed.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.index_read().iter().any(|e| e.hash.0 == hash)
     }
 
-    /// Deposits a surface: writes its record file atomically, updates the
+    /// Snapshot of the index row for `hash`, if persisted. The clone is
+    /// deliberate: the caller reads the record file *after* releasing the
+    /// index lock.
+    pub fn entry(&self, hash: u64) -> Option<ManifestEntry> {
+        self.index_read().iter().find(|e| e.hash.0 == hash).cloned()
+    }
+
+    /// The nearest persisted same-shape neighbour within `radius` whose
+    /// hash `exclude` does not claim (entries already promoted into
+    /// memory were scanned there), per the manifest index alone — no file
+    /// I/O, shared read lock only. Used by the warm-start lookup and cost
+    /// estimation so both always pick the same neighbour.
+    pub fn best_candidate<F: Fn(u64) -> bool>(
+        &self,
+        shape: ShapeKey,
+        fingerprint: &[f64],
+        radius: f64,
+        exclude: F,
+    ) -> Option<(f64, ManifestEntry)> {
+        let index = self.index_read();
+        let mut best: Option<(f64, &ManifestEntry)> = None;
+        for entry in index.iter() {
+            if entry.shape != shape || exclude(entry.hash.0) {
+                continue;
+            }
+            let d = fingerprint_distance(&entry.fingerprint, fingerprint);
+            if d <= radius && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, entry));
+            }
+        }
+        best.map(|(d, entry)| (d, entry.clone()))
+    }
+
+    /// Reads and validates the record file for an index snapshot taken
+    /// earlier. **Holds no lock** — this is the disk restore the serving
+    /// front-end runs concurrently across threads. On failure the caller
+    /// must [`Store::discard`] the entry.
+    pub fn read_record(&self, entry: &ManifestEntry) -> Result<CachedSurface, String> {
+        read_surface(&self.dir.join(&entry.file), entry)
+    }
+
+    /// Drops `hash` from the index (corrupt record file), deletes the
+    /// file, counts the skip, and rewrites the manifest so the next
+    /// process does not rediscover the dead row. Idempotent: a concurrent
+    /// discard of the same hash is a no-op.
+    pub fn discard(&self, hash: u64) {
+        let _writer = self.writer_lock();
+        let gone = {
+            let mut index = self.index_write();
+            match index.iter().position(|e| e.hash.0 == hash) {
+                Some(pos) => index.remove(pos),
+                None => return, // another thread already discarded it
+            }
+        };
+        let _ = fs::remove_file(self.dir.join(&gone.file));
+        self.skipped.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = self.write_manifest() {
+            warn(&format!("failed to rewrite cache manifest: {e}"));
+        }
+    }
+
+    /// Deposits a surface: writes its record file atomically (**before**
+    /// taking any lock), then — under the writer mutex — updates the
     /// index, applies the eviction policy, and rewrites the manifest
     /// atomically. Returns the hashes of any evicted surfaces so the
     /// in-memory cache can drop them too.
-    pub fn insert(&mut self, surface: &CachedSurface) -> Result<Vec<u64>, String> {
+    pub fn insert(&self, surface: &CachedSurface) -> Result<Vec<u64>, String> {
         let name = surface_file_name(surface.hash);
         let json = surface_json(surface);
         let bytes = json.len() as u64;
+        // Record-file I/O outside every lock: the atomic temp+rename
+        // means concurrent writers of the same hash race to an
+        // interchangeable result (identical scenario ⇒ identical surface
+        // up to cost telemetry), and readers never see a torn file.
         write_atomic(&self.dir, &name, &json)?;
 
         let entry = ManifestEntry {
@@ -273,30 +399,31 @@ impl Store {
             bytes,
             file: name,
         };
-        // Re-deposits of the same scenario replace in place (last writer
-        // wins, like the in-memory map) and keep their eviction slot.
-        match self.entries.iter_mut().find(|e| e.hash == entry.hash) {
-            Some(slot) => *slot = entry,
-            None => self.entries.push(entry),
-        }
 
+        let _writer = self.writer_lock();
         let mut evicted = Vec::new();
-        loop {
-            let over_entries = self
-                .policy
-                .max_entries
-                .is_some_and(|m| self.entries.len() > m);
-            let over_bytes = self
-                .policy
-                .max_bytes
-                .is_some_and(|m| self.total_bytes() > m);
-            if self.entries.is_empty() || !(over_entries || over_bytes) {
-                break;
+        {
+            let mut index = self.index_write();
+            // Re-deposits of the same scenario replace in place (last
+            // writer wins, like the in-memory map) and keep their
+            // eviction slot.
+            match index.iter_mut().find(|e| e.hash == entry.hash) {
+                Some(slot) => *slot = entry,
+                None => index.push(entry),
             }
-            let gone = self.entries.remove(0);
-            let _ = fs::remove_file(self.dir.join(&gone.file));
-            self.evictions += 1;
-            evicted.push(gone.hash.0);
+
+            loop {
+                let over_entries = self.policy.max_entries.is_some_and(|m| index.len() > m);
+                let total: u64 = index.iter().map(|e| e.bytes).sum();
+                let over_bytes = self.policy.max_bytes.is_some_and(|m| total > m);
+                if index.is_empty() || !(over_entries || over_bytes) {
+                    break;
+                }
+                let gone = index.remove(0);
+                let _ = fs::remove_file(self.dir.join(&gone.file));
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted.push(gone.hash.0);
+            }
         }
 
         // A budget smaller than a single surface evicts the deposit
@@ -317,34 +444,6 @@ impl Store {
         Ok(evicted)
     }
 
-    /// Loads the surface for `hash` from disk, validating it end to end
-    /// (format version, hash/shape/fingerprint agreement with the index,
-    /// structural record invariants). A file that fails any check is
-    /// skipped with a warning, dropped from the index, and deleted;
-    /// returns `None` in that case or when the hash is not persisted.
-    pub fn load(&mut self, hash: u64) -> Option<CachedSurface> {
-        let idx = self.entries.iter().position(|e| e.hash.0 == hash)?;
-        let path = self.dir.join(&self.entries[idx].file);
-        match read_surface(&path, &self.entries[idx]) {
-            Ok(surface) => Some(surface),
-            Err(e) => {
-                warn(&format!(
-                    "skipping corrupt cached surface {} ({e})",
-                    path.display()
-                ));
-                let gone = self.entries.remove(idx);
-                let _ = fs::remove_file(self.dir.join(&gone.file));
-                self.skipped += 1;
-                // Best-effort: drop the dead row from the on-disk index
-                // too, so the next process does not rediscover it.
-                if let Err(e) = self.write_manifest() {
-                    warn(&format!("failed to rewrite cache manifest: {e}"));
-                }
-                None
-            }
-        }
-    }
-
     /// Rewrites the manifest atomically from the in-memory index.
     fn write_manifest(&self) -> Result<(), String> {
         let mut out = String::new();
@@ -353,7 +452,7 @@ impl Store {
         PERSIST_VERSION.serialize_json(&mut out);
         out.push(',');
         serde::write_key("entries", &mut out);
-        self.entries.serialize_json(&mut out);
+        self.index_read().serialize_json(&mut out);
         out.push('}');
         write_atomic(&self.dir, MANIFEST_FILE, &out)
     }

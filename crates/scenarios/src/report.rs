@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use hddm_cluster::ScheduleResult;
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, CachedSurface};
 use crate::hash::HashId;
 
 /// How a scenario's solve interacted with the policy-surface cache.
@@ -88,6 +88,32 @@ pub struct ScenarioReport {
     pub warm_source: Option<HashId>,
     /// Name of the fleet worker the scenario was assigned to.
     pub worker: String,
+}
+
+impl ScenarioReport {
+    /// The report of an exact cache hit: zero time-iteration steps, the
+    /// cached surface *is* the answer. Shared by the batch executor and
+    /// the serving front-end so both describe a hit identically. The
+    /// `worker` attribution is left empty for the caller to fill.
+    pub fn from_exact_hit(
+        name: &str,
+        surface: &CachedSurface,
+        wall_seconds: f64,
+    ) -> ScenarioReport {
+        ScenarioReport {
+            name: name.to_string(),
+            hash: HashId(surface.hash),
+            steps: 0,
+            converged: true,
+            final_sup_change: surface.final_sup_change,
+            solver_failures: 0,
+            grid_points: surface.grid_points(),
+            wall_seconds,
+            cache: CacheKind::Exact,
+            warm_source: None,
+            worker: String::new(),
+        }
+    }
 }
 
 /// Fleet-level scheduling summary (one simulated execution of the

@@ -1,0 +1,513 @@
+//! The [`ScenarioService`] itself: admission (exact-hit fast path, warm
+//! probing), the bounded coalescing queue, and the dispatcher workers.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use hddm_scenarios::{
+    fingerprint, run_batch, scenario_hash, ExecutorConfig, ScenarioReport, ScenarioSet, ShapeKey,
+    SurfaceCache,
+};
+
+use crate::types::{ScenarioRequest, ScenarioResponse, ServeConfig, ServeError, WarmHint};
+
+/// The completion slot a [`Ticket`] waits on.
+type Slot = Arc<(Mutex<Option<Result<ScenarioResponse, ServeError>>>, Condvar)>;
+
+fn recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    lock.lock().unwrap_or_else(|poisoned| {
+        lock.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// A pending response: returned by [`ScenarioService::submit`]
+/// immediately (pre-filled for exact hits), fulfilled by a dispatcher
+/// for queued misses.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Slot,
+}
+
+impl Ticket {
+    fn pending() -> (Ticket, Slot) {
+        let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
+        (
+            Ticket {
+                slot: Arc::clone(&slot),
+            },
+            slot,
+        )
+    }
+
+    fn ready(result: Result<ScenarioResponse, ServeError>) -> Ticket {
+        Ticket {
+            slot: Arc::new((Mutex::new(Some(result)), Condvar::new())),
+        }
+    }
+
+    /// Non-blocking peek: `Some` once the response (or error) is in.
+    pub fn poll(&self) -> Option<Result<ScenarioResponse, ServeError>> {
+        recover(&self.slot.0).clone()
+    }
+
+    /// Blocks until the response is in.
+    pub fn wait(self) -> Result<ScenarioResponse, ServeError> {
+        let (lock, cv) = &*self.slot;
+        let mut slot = recover(lock);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = cv.wait(slot).unwrap_or_else(|poisoned| {
+                lock.clear_poison();
+                poisoned.into_inner()
+            });
+        }
+    }
+}
+
+/// One queued scenario group: the representative scenario plus every
+/// ticket waiting on it (identical in-queue requests coalesce here — one
+/// solve fans out to all waiters). The drop guard turns an abandoned
+/// group (dispatcher panic) into [`ServeError::WorkerLost`] instead of a
+/// forever-blocked ticket.
+struct Group {
+    scenario: hddm_scenarios::Scenario,
+    hash: u64,
+    shape: ShapeKey,
+    fingerprint: Vec<f64>,
+    allow_warm: bool,
+    warm_hint: Option<WarmHint>,
+    enqueued: Instant,
+    waiters: Vec<Slot>,
+    fulfilled: bool,
+}
+
+impl Group {
+    fn fulfill(&mut self, result: Result<ScenarioResponse, ServeError>) {
+        self.fulfilled = true;
+        for slot in self.waiters.drain(..) {
+            *recover(&slot.0) = Some(result.clone());
+            slot.1.notify_all();
+        }
+    }
+}
+
+impl Drop for Group {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.fulfill(Err(ServeError::WorkerLost));
+        }
+    }
+}
+
+struct QueueState {
+    groups: VecDeque<Group>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// The non-blocking scenario serving facade over the scenario engine:
+///
+/// * **exact hit** — the scenario's content hash is cached (in memory or
+///   in the persistent index): the response is built on the caller's
+///   thread from the cached surface, with zero solver steps. Concurrent
+///   callers read through the sharded cache (and restore record files
+///   from disk outside any lock), so hit latency does not serialize;
+/// * **near miss** — no exact surface, but a same-shape neighbour lies
+///   within the warm radius: the request is enqueued for a warm-started
+///   solve and the response carries the neighbour as a [`WarmHint`];
+/// * **cold miss** — nothing usable cached: the request is enqueued for
+///   a cold solve.
+///
+/// Enqueued misses land on a bounded queue where identical scenarios
+/// coalesce into one group; dispatcher threads seal up to
+/// [`ServeConfig::max_batch`] groups (after a [`ServeConfig::linger`]
+/// coalescing window) into a [`ScenarioSet`] micro-batch and run it
+/// through the incremental batch executor
+/// ([`run_batch`](hddm_scenarios::run_batch)), fulfilling each ticket as
+/// its scenario completes. No async runtime: plain threads, condvars,
+/// and the executor's completion handle.
+pub struct ScenarioService {
+    cache: SurfaceCache,
+    config: ServeConfig,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScenarioService {
+    /// Starts a service over an existing cache handle (shared with any
+    /// other holder — sweeps warming the cache concurrently are visible
+    /// to the service immediately).
+    pub fn new(cache: SurfaceCache, config: ServeConfig) -> ScenarioService {
+        let workers = config.workers.max(1);
+        ScenarioService::spawn(cache, config, workers)
+    }
+
+    /// Starts a service, opening the cache the executor configuration
+    /// describes (persistent when `executor.cache_dir` is set).
+    pub fn open(config: ServeConfig) -> Result<ScenarioService, ServeError> {
+        let cache = config.executor.open_cache().map_err(ServeError::Cache)?;
+        Ok(ScenarioService::new(cache, config))
+    }
+
+    /// Spawns with an explicit worker count; `workers == 0` (tests only)
+    /// leaves the queue undrained.
+    fn spawn(cache: SurfaceCache, config: ServeConfig, workers: usize) -> ScenarioService {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                groups: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let cache = cache.clone();
+                let config = config.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || dispatcher_loop(&cache, &config, &shared))
+            })
+            .collect();
+        ScenarioService {
+            cache,
+            config,
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The cache this service serves from.
+    pub fn cache(&self) -> &SurfaceCache {
+        &self.cache
+    }
+
+    /// Admits a request and returns a [`Ticket`] without blocking on any
+    /// solve. Exact hits come back pre-fulfilled (the lookup — including
+    /// a lazy disk restore — runs on the calling thread, concurrently
+    /// with other callers); misses are enqueued for micro-batching.
+    pub fn submit(&self, request: ScenarioRequest) -> Result<Ticket, ServeError> {
+        let admitted = Instant::now();
+        request.scenario.validate().map_err(ServeError::Invalid)?;
+        let scenario = request.scenario;
+        let hash = scenario_hash(&scenario);
+        // One derivation of the cache identity (ShapeKey::of is shared
+        // with the executor's solve-time lookups — the probe here and
+        // the dispatched solve must never disagree).
+        let shape = ShapeKey::of(&scenario);
+        let fp = fingerprint(&scenario);
+
+        // Exact-hit fast path: answer from the cache immediately. The
+        // warm path is deliberately not taken here — a warm start still
+        // costs a solve, which belongs on the batch queue. The probe is
+        // telemetry-neutral on a miss: the dispatched solve's own lookup
+        // accounts for it (counting here too would double every miss).
+        if let Some(surface) = self.cache.lookup_exact(hash, shape, &fp) {
+            let mut report = ScenarioReport::from_exact_hit(
+                &scenario.name,
+                &surface,
+                admitted.elapsed().as_secs_f64(),
+            );
+            report.worker = "serve-cache".into();
+            return Ok(Ticket::ready(Ok(ScenarioResponse {
+                report,
+                warm_hint: None,
+                batch_size: 0,
+                queue_seconds: 0.0,
+                total_seconds: admitted.elapsed().as_secs_f64(),
+            })));
+        }
+
+        // A bare hash match is not identity: a colliding hash with a
+        // different shape/fingerprint is a *different* scenario (the
+        // cache demotes exactly this case), and coalescing it would
+        // answer one request with another scenario's surface. Compare
+        // the full cache identity.
+        let same_group = |g: &Group| {
+            g.hash == hash
+                && g.shape == shape
+                && g.fingerprint == fp
+                && g.allow_warm == request.allow_warm
+        };
+
+        let (ticket, slot) = Ticket::pending();
+
+        // Coalescing fast path: if an identical scenario is already
+        // pending, attach to its group without paying the near-miss
+        // probe below (the group keeps the first submitter's hint).
+        {
+            let mut state = recover(&self.shared.queue);
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if let Some(group) = state.groups.iter_mut().find(|g| same_group(g)) {
+                group.waiters.push(slot);
+                drop(state);
+                self.shared.cv.notify_all();
+                return Ok(ticket);
+            }
+        }
+
+        // Near-miss probe (outside the queue lock — it scans every shard
+        // and the persistent index): index metadata only, no record I/O.
+        let warm_hint = if request.allow_warm {
+            self.cache.nearest_neighbour(shape, &fp).map(|n| WarmHint {
+                source: n.hash,
+                distance: n.distance,
+                estimated_cost_seconds: n.cost_seconds,
+            })
+        } else {
+            None
+        };
+
+        {
+            let mut state = recover(&self.shared.queue);
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            // Re-check: an identical request may have enqueued while the
+            // probe ran. Coalesce then (the fresh hint is redundant).
+            if let Some(group) = state.groups.iter_mut().find(|g| same_group(g)) {
+                group.waiters.push(slot);
+            } else {
+                if state.groups.len() >= self.config.queue_capacity {
+                    return Err(ServeError::QueueFull {
+                        capacity: self.config.queue_capacity,
+                    });
+                }
+                state.groups.push_back(Group {
+                    scenario,
+                    hash,
+                    shape,
+                    fingerprint: fp,
+                    allow_warm: request.allow_warm,
+                    warm_hint,
+                    enqueued: admitted,
+                    waiters: vec![slot],
+                    fulfilled: false,
+                });
+            }
+        }
+        self.shared.cv.notify_all();
+        Ok(ticket)
+    }
+
+    /// [`ScenarioService::submit`] + [`Ticket::wait`]: the blocking
+    /// convenience call.
+    pub fn call(&self, request: ScenarioRequest) -> Result<ScenarioResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Pending groups currently queued (coalesced; an exact-hit fast
+    /// path never appears here).
+    pub fn queue_depth(&self) -> usize {
+        recover(&self.shared.queue).groups.len()
+    }
+}
+
+impl Drop for ScenarioService {
+    fn drop(&mut self) {
+        {
+            let mut state = recover(&self.shared.queue);
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        // Graceful: dispatchers drain every already-admitted group
+        // before exiting, so no accepted ticket is abandoned.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One dispatcher: seal a micro-batch (first pending group + whatever
+/// arrives within the linger window, up to `max_batch`), run it through
+/// the incremental executor, fulfill tickets as scenarios complete.
+fn dispatcher_loop(cache: &SurfaceCache, config: &ServeConfig, shared: &Shared) {
+    let max_batch = config.max_batch.max(1);
+    loop {
+        let mut batch: Vec<Group> = Vec::new();
+        {
+            let mut state = recover(&shared.queue);
+            loop {
+                if !state.groups.is_empty() {
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.cv.wait(state).unwrap_or_else(|poisoned| {
+                    shared.queue.clear_poison();
+                    poisoned.into_inner()
+                });
+            }
+            // Coalescing window: hold the batch open briefly so near-
+            // simultaneous misses ride together (unless it is already
+            // full, or the service is shutting down).
+            if !config.linger.is_zero() {
+                let deadline = Instant::now() + config.linger;
+                while state.groups.len() < max_batch && !state.shutdown {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    state = shared
+                        .cv
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|poisoned| {
+                            shared.queue.clear_poison();
+                            poisoned.into_inner()
+                        })
+                        .0;
+                }
+            }
+            for _ in 0..max_batch {
+                match state.groups.pop_front() {
+                    Some(group) => batch.push(group),
+                    None => break,
+                }
+            }
+        }
+        if !batch.is_empty() {
+            dispatch(cache, &config.executor, batch);
+        }
+    }
+}
+
+/// Runs one sealed micro-batch. Requests that forbid warm starts are
+/// split into their own sub-batch so the per-request policy survives the
+/// executor's batch-level `warm_start` flag.
+fn dispatch(cache: &SurfaceCache, executor: &ExecutorConfig, batch: Vec<Group>) {
+    let (warm_ok, cold_only): (Vec<Group>, Vec<Group>) =
+        batch.into_iter().partition(|g| g.allow_warm);
+    for (mut groups, allow_warm) in [(warm_ok, true), (cold_only, false)] {
+        if groups.is_empty() {
+            continue;
+        }
+        let set = ScenarioSet {
+            scenarios: groups.iter().map(|g| g.scenario.clone()).collect(),
+        };
+        let exec = ExecutorConfig {
+            warm_start: executor.warm_start && allow_warm,
+            ..executor.clone()
+        };
+        let dispatched = Instant::now();
+        let batch_size = groups.len();
+        match run_batch(set, cache.clone(), exec) {
+            Ok(mut handle) => {
+                while let Some((i, result)) = handle.recv() {
+                    let group = &mut groups[i];
+                    let response = result
+                        .map(|report| ScenarioResponse {
+                            report,
+                            warm_hint: group.warm_hint,
+                            batch_size,
+                            queue_seconds: dispatched.duration_since(group.enqueued).as_secs_f64(),
+                            total_seconds: group.enqueued.elapsed().as_secs_f64(),
+                        })
+                        .map_err(ServeError::Executor);
+                    group.fulfill(response);
+                }
+                // Undelivered scenarios (executor thread died) fall to
+                // the groups' drop guards → WorkerLost.
+            }
+            Err(e) => {
+                for group in &mut groups {
+                    group.fulfill(Err(ServeError::Executor(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hddm_olg::Calibration;
+    use hddm_scenarios::Scenario;
+
+    fn base() -> Scenario {
+        let mut s = Scenario::from_calibration("svc", Calibration::small(4, 3, 2, 0.03));
+        s.solve.tolerance = 1e-6;
+        s.solve.max_steps = 50;
+        s
+    }
+
+    fn undrained(queue_capacity: usize) -> ScenarioService {
+        // No dispatchers: the queue fills and stays full — the
+        // deterministic way to exercise admission control.
+        ScenarioService::spawn(
+            SurfaceCache::default(),
+            ServeConfig {
+                executor: ExecutorConfig::serial(),
+                queue_capacity,
+                ..ServeConfig::default()
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn the_queue_is_bounded_and_rejects_overflow() {
+        let service = undrained(2);
+        let mut beta = 0.949;
+        let mut submit_distinct = || {
+            let mut s = base();
+            s.calibration.beta = beta;
+            beta += 0.001;
+            service.submit(ScenarioRequest::new(s))
+        };
+        let _t1 = submit_distinct().unwrap();
+        let _t2 = submit_distinct().unwrap();
+        assert_eq!(service.queue_depth(), 2);
+        let err = submit_distinct().unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+        assert!(err.to_string().contains("full"));
+    }
+
+    #[test]
+    fn identical_pending_requests_coalesce_into_one_group() {
+        let service = undrained(8);
+        let t1 = service.submit(ScenarioRequest::new(base())).unwrap();
+        let t2 = service.submit(ScenarioRequest::new(base())).unwrap();
+        // Same scenario → one group, two waiters.
+        assert_eq!(service.queue_depth(), 1);
+        // A cold-only request for the same scenario must NOT share the
+        // warm-allowed solve (different serving policy → its own group).
+        let _t3 = service.submit(ScenarioRequest::cold_only(base())).unwrap();
+        assert_eq!(service.queue_depth(), 2);
+        assert!(t1.poll().is_none());
+        assert!(t2.poll().is_none());
+
+        // Dropping the service abandons the undrained groups: waiters
+        // get WorkerLost (never a hang).
+        drop(service);
+        assert_eq!(t1.wait().unwrap_err(), ServeError::WorkerLost);
+        assert_eq!(t2.wait().unwrap_err(), ServeError::WorkerLost);
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_at_admission() {
+        let service = undrained(4);
+        let mut bad = base();
+        bad.solve.tolerance = -1.0;
+        let err = service.submit(ScenarioRequest::new(bad)).unwrap_err();
+        assert!(matches!(err, ServeError::Invalid(_)));
+        assert_eq!(service.queue_depth(), 0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let service = undrained(4);
+        recover(&service.shared.queue).shutdown = true;
+        let err = service.submit(ScenarioRequest::new(base())).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+}

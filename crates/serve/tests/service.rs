@@ -1,0 +1,260 @@
+//! Acceptance tests of the serving front-end:
+//!
+//! * a mixed trace through [`ScenarioService`] returns correct responses
+//!   for all three decision-tree paths (exact hit, warm start, cold miss
+//!   via micro-batch);
+//! * ≥ 4 concurrent exact-hit readers restore their surfaces from disk
+//!   **without serializing on a single cache lock** — proven by a
+//!   rendezvous inside the restore path (all four must be inside their
+//!   record-file reads simultaneously) and by the cache's
+//!   `concurrent_restores_peak` telemetry;
+//! * identical concurrent requests coalesce into one solve.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hddm_olg::Calibration;
+use hddm_scenarios::{
+    run_set, CacheKind, ExecutorConfig, Knob, Scenario, ScenarioSet, SurfaceCache,
+};
+use hddm_serve::{ScenarioRequest, ScenarioService, ServeConfig};
+
+fn base() -> Scenario {
+    let mut s = Scenario::from_calibration("serve", Calibration::small(4, 3, 2, 0.03));
+    s.solve.tolerance = 1e-6;
+    s.solve.max_steps = 50;
+    s
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        executor: ExecutorConfig::serial(),
+        linger: Duration::from_millis(5),
+        ..ServeConfig::default()
+    }
+}
+
+/// A fresh, collision-free temp directory per test invocation.
+fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hddm_serve_test_{}_{tag}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn mixed_trace_exercises_all_three_paths_correctly() {
+    let service = ScenarioService::new(SurfaceCache::default(), serve_config());
+
+    // 1. Cold miss: nothing cached, no warm hint possible.
+    let cold = service.call(ScenarioRequest::new(base())).unwrap();
+    assert_eq!(cold.kind(), CacheKind::Cold);
+    assert!(cold.report.converged);
+    assert!(cold.report.steps > 0);
+    assert!(cold.warm_hint.is_none(), "empty cache cannot hint");
+    assert!(cold.batch_size >= 1, "misses go through the micro-batch");
+    assert!(cold.total_seconds >= cold.queue_seconds);
+
+    // 2. Near miss: same shape, fingerprint within the warm radius. The
+    //    response must carry the nearest-neighbour metadata AND the
+    //    executor must actually warm start from it.
+    let mut near = base();
+    Knob::Beta.apply(&mut near, 0.9525).unwrap();
+    near.name = "serve/near".into();
+    let warm = service.call(ScenarioRequest::new(near.clone())).unwrap();
+    assert_eq!(warm.kind(), CacheKind::Warm);
+    assert!(warm.report.converged);
+    let hint = warm.warm_hint.expect("near miss must carry a warm hint");
+    assert_eq!(hint.source, cold.hash(), "hint names the cached neighbour");
+    assert!(hint.distance > 0.0 && hint.distance <= 0.05);
+    assert!(hint.estimated_cost_seconds > 0.0);
+    assert_eq!(
+        warm.report.warm_source,
+        Some(cold.hash()),
+        "the solve used the hinted surface"
+    );
+
+    // 3. Exact hit: the identical scenario is answered from the cache
+    //    with zero solver steps, without touching the queue.
+    let hit = service.call(ScenarioRequest::new(base())).unwrap();
+    assert_eq!(hit.kind(), CacheKind::Exact);
+    assert_eq!(hit.report.steps, 0);
+    assert_eq!(hit.hash(), cold.hash());
+    assert_eq!(hit.batch_size, 0, "exact hits bypass the micro-batch");
+    assert_eq!(hit.queue_seconds, 0.0);
+    assert!(hit.warm_hint.is_none());
+
+    // 4. Far miss: same shape but far fingerprint (a box reform well
+    //    outside the warm radius) — cold, no hint.
+    let mut far = base();
+    Knob::CapitalSpan.apply(&mut far, 0.45).unwrap();
+    far.name = "serve/far".into();
+    let cold2 = service.call(ScenarioRequest::new(far)).unwrap();
+    assert_eq!(cold2.kind(), CacheKind::Cold);
+    assert!(cold2.warm_hint.is_none(), "out-of-radius must not hint");
+
+    // 5. Cold-only policy: a nearby neighbour exists, but the request
+    //    forbids warm starts — served cold, no hint attached.
+    let mut near2 = base();
+    Knob::Beta.apply(&mut near2, 0.9515).unwrap();
+    near2.name = "serve/cold-only".into();
+    let forced = service.call(ScenarioRequest::cold_only(near2)).unwrap();
+    assert_eq!(forced.kind(), CacheKind::Cold);
+    assert!(forced.warm_hint.is_none());
+    assert_eq!(forced.report.warm_source, None);
+}
+
+/// The tentpole concurrency acceptance: ≥ 4 exact-hit readers, each
+/// restoring a *different* persisted surface, must all be inside their
+/// record-file reads at the same time. Under the old design (file I/O
+/// under the single cache mutex) the rendezvous can never complete —
+/// each reader would hold the lock for the duration of its read, so the
+/// hook would time out with fewer than 4 arrivals.
+#[test]
+fn four_concurrent_exact_hit_readers_restore_from_disk_without_serializing() {
+    const READERS: usize = 4;
+    let dir = temp_cache_dir("concurrent");
+
+    // Warm the persistent cache with 4 distinct scenarios.
+    let set = ScenarioSet::grid(&base(), &[(Knob::Beta, vec![0.949, 0.95, 0.951, 0.952])]).unwrap();
+    {
+        let warmer = SurfaceCache::open(&dir).unwrap();
+        let report = run_set(&set, &warmer, &ExecutorConfig::serial()).unwrap();
+        assert!(report.all_converged());
+        assert_eq!(report.cache_stats.persisted_entries, READERS);
+    }
+
+    // Fresh cache over the directory — every surface must come off disk.
+    let cache = SurfaceCache::open(&dir).unwrap();
+
+    // Rendezvous hook: every restore waits (bounded) until all four
+    // readers are inside the restore path simultaneously.
+    let rendezvous = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let timed_out = Arc::new(Mutex::new(false));
+    {
+        let rendezvous = Arc::clone(&rendezvous);
+        let timed_out = Arc::clone(&timed_out);
+        cache.set_restore_hook(Arc::new(move |_hash| {
+            let (count, cv) = &*rendezvous;
+            let mut inside = count.lock().unwrap();
+            *inside += 1;
+            cv.notify_all();
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while *inside < READERS {
+                let now = Instant::now();
+                if now >= deadline {
+                    *timed_out.lock().unwrap() = true;
+                    return;
+                }
+                let (guard, _) = cv.wait_timeout(inside, deadline - now).unwrap();
+                inside = guard;
+            }
+        }));
+    }
+
+    let service = Arc::new(ScenarioService::new(cache.clone(), serve_config()));
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = set
+            .scenarios
+            .iter()
+            .map(|scenario| {
+                let service = Arc::clone(&service);
+                let request = ScenarioRequest::new(scenario.clone());
+                scope.spawn(move || service.call(request).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All four served as zero-step exact hits restored from disk.
+    for response in &responses {
+        assert_eq!(response.kind(), CacheKind::Exact);
+        assert_eq!(response.report.steps, 0);
+        assert_eq!(response.batch_size, 0);
+    }
+    assert!(
+        !*timed_out.lock().unwrap(),
+        "restores serialized: fewer than {READERS} readers were ever \
+         inside the restore path simultaneously"
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.exact_hits, READERS);
+    assert_eq!(
+        stats.disk_hits, READERS,
+        "each surface restored exactly once"
+    );
+    assert!(
+        stats.concurrent_restores_peak >= READERS,
+        "peak concurrent restores {} < {READERS}: the read path serialized",
+        stats.concurrent_restores_peak
+    );
+    // The surfaces spread over more than one shard, so the readers were
+    // not all funneled through one lock even in memory.
+    assert!(
+        cache.shard_entries().iter().filter(|&&n| n > 0).count() >= 2,
+        "shard telemetry: entries {:?}",
+        cache.shard_entries()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_concurrent_requests_share_one_solve() {
+    const CLIENTS: usize = 5;
+    // One dispatcher with a long linger: all five identical requests
+    // land in the queue before the batch seals, so they must coalesce
+    // into a single group → a single solve fanned out to every waiter.
+    let service = Arc::new(ScenarioService::new(
+        SurfaceCache::default(),
+        ServeConfig {
+            executor: ExecutorConfig::serial(),
+            workers: 1,
+            linger: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    ));
+
+    // Submit all five tickets non-blocking (well inside the linger
+    // window — each submit is microseconds), then wait concurrently.
+    let tickets: Vec<_> = (0..CLIENTS)
+        .map(|_| service.submit(ScenarioRequest::new(base())).unwrap())
+        .collect();
+    assert_eq!(
+        service.queue_depth(),
+        1,
+        "five requests, one coalesced group"
+    );
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tickets
+            .into_iter()
+            .map(|ticket| scope.spawn(move || ticket.wait().unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every client got the same single solve: identical step counts and
+    // bit-identical wall clocks (a clone of one report, not five solves).
+    let first = &responses[0];
+    assert_eq!(first.kind(), CacheKind::Cold);
+    assert!(first.report.converged);
+    for response in &responses[1..] {
+        assert_eq!(response.kind(), CacheKind::Cold);
+        assert_eq!(response.report.steps, first.report.steps);
+        assert_eq!(
+            response.report.wall_seconds.to_bits(),
+            first.report.wall_seconds.to_bits(),
+            "responses must share one underlying solve"
+        );
+    }
+    let stats = service.cache().stats();
+    assert_eq!(
+        stats.entries, 1,
+        "exactly one surface was solved and deposited"
+    );
+}

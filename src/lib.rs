@@ -22,6 +22,7 @@
 //! | [`olg`] | `hddm-olg` | the stochastic OLG economy |
 //! | [`core`] | `hddm-core` | the time-iteration driver |
 //! | [`scenarios`] | `hddm-scenarios` | batched multi-calibration sweeps + policy-surface cache |
+//! | [`serve`] | `hddm-serve` | scenario serving facade: exact-hit fast path + miss micro-batching |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction inventory.
@@ -53,4 +54,5 @@ pub use hddm_kernels as kernels;
 pub use hddm_olg as olg;
 pub use hddm_scenarios as scenarios;
 pub use hddm_sched as sched;
+pub use hddm_serve as serve;
 pub use hddm_solver as solver;
