@@ -21,6 +21,19 @@ impl SurplusNorm {
             SurplusNorm::Rms => (row.iter().map(|v| v * v).sum::<f64>() / row.len() as f64).sqrt(),
         }
     }
+
+    /// Batched indicator evaluation: folds the surplus rows of the dense
+    /// ids in `ids` (row-major `grid.len() × ndofs` matrix) into
+    /// `out[k] = g(α_{ids[k]})` in one pass. The single entry point both
+    /// refinement sweeps route their candidate evaluation through — and
+    /// the seam a vectorized or offloaded indicator kernel slots into.
+    pub fn indicators(self, surpluses: &[f64], ndofs: usize, ids: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            ids.iter()
+                .map(|&i| self.indicator(&surpluses[i as usize * ndofs..(i as usize + 1) * ndofs])),
+        );
+    }
 }
 
 /// Refinement policy: threshold, depth cap, and indicator norm.
@@ -70,16 +83,38 @@ pub fn refine(
 ) -> RefineReport {
     assert_eq!(surpluses.len(), grid.len() * ndofs);
     let before = grid.len() as u32;
+    let candidates: Vec<u32> = (0..before).collect();
+    let mut report = sweep(grid, surpluses, ndofs, &candidates, config);
+    report.new_nodes = (before..grid.len() as u32).collect();
+    debug_assert!(grid.is_ancestor_closed());
+    report
+}
+
+/// The shared candidate sweep of both refinement variants: evaluates the
+/// indicators of `candidates` as one batched pass
+/// ([`SurplusNorm::indicators`]), then inserts the passing nodes'
+/// children (ancestor-closed, level-capped). `new_nodes` is left for the
+/// caller to fill from the grid growth.
+fn sweep(
+    grid: &mut SparseGrid,
+    surpluses: &[f64],
+    ndofs: usize,
+    candidates: &[u32],
+    config: &RefineConfig,
+) -> RefineReport {
     let mut report = RefineReport::default();
     let dim = grid.dim();
+    let mut indicators = Vec::new();
+    config
+        .norm
+        .indicators(surpluses, ndofs, candidates, &mut indicators);
     // Collect candidate children first so indicator evaluation sees a
     // frozen grid.
     let mut children: Vec<NodeKey> = Vec::new();
-    for i in 0..before as usize {
-        let row = &surpluses[i * ndofs..(i + 1) * ndofs];
-        if config.norm.indicator(row) >= config.epsilon {
-            report.refined_parents.push(i as u32);
-            for child in grid.node(i).children(dim) {
+    for (&i, &g) in candidates.iter().zip(&indicators) {
+        if g >= config.epsilon {
+            report.refined_parents.push(i);
+            for child in grid.node(i as usize).children(dim) {
                 if child.level_max() <= config.max_level {
                     children.push(child);
                 }
@@ -89,8 +124,6 @@ pub fn refine(
     for child in children {
         grid.insert_closed(child);
     }
-    report.new_nodes = (before..grid.len() as u32).collect();
-    debug_assert!(grid.is_ancestor_closed());
     report
 }
 
@@ -107,23 +140,7 @@ pub fn refine_frontier(
 ) -> RefineReport {
     assert_eq!(surpluses.len(), grid.len() * ndofs);
     let before = grid.len() as u32;
-    let mut report = RefineReport::default();
-    let dim = grid.dim();
-    let mut children: Vec<NodeKey> = Vec::new();
-    for &i in frontier {
-        let row = &surpluses[i as usize * ndofs..(i as usize + 1) * ndofs];
-        if config.norm.indicator(row) >= config.epsilon {
-            report.refined_parents.push(i);
-            for child in grid.node(i as usize).children(dim) {
-                if child.level_max() <= config.max_level {
-                    children.push(child);
-                }
-            }
-        }
-    }
-    for child in children {
-        grid.insert_closed(child);
-    }
+    let mut report = sweep(grid, surpluses, ndofs, frontier, config);
     report.new_nodes = (before..grid.len() as u32).collect();
     report
 }

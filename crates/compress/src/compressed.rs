@@ -2,11 +2,29 @@
 //! assembled by the [`crate::pipeline`] stages, with the scalar reference
 //! interpolator of Fig. 5 (left).
 
-use hddm_asg::{linear_basis, SparseGrid};
+use std::cell::Cell;
+
+use hddm_asg::{basis, linear_basis, SparseGrid};
 
 use crate::pipeline::{
     build_chains, decompose, renumber, transition, unique_elements, XiSparse, XpsEntry,
 };
+
+thread_local! {
+    /// Full pipeline runs performed by this thread (see
+    /// [`compression_builds`]).
+    static BUILDS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of full compression-pipeline runs ([`CompressedGrid::build`])
+/// this thread has performed. The driver's incremental hierarchization
+/// contract — *one* compression per state per step, regardless of how
+/// many refinement levels the step grows — is asserted against this
+/// counter; it is thread-local so concurrently running tests (or sweep
+/// workers) cannot pollute each other's deltas.
+pub fn compression_builds() -> usize {
+    BUILDS.with(|b| b.get())
+}
 
 /// Compression statistics reported alongside Table I.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -43,6 +61,7 @@ pub struct CompressedGrid {
 impl CompressedGrid {
     /// Runs the full compression pipeline on a grid.
     pub fn build(grid: &SparseGrid) -> Self {
+        BUILDS.with(|b| b.set(b.get() + 1));
         let xi = XiSparse::from_grid(grid);
         let zero_fraction = xi.zero_fraction();
         let nfreq = xi.nfreq().max(1);
@@ -143,6 +162,94 @@ impl CompressedGrid {
                 dense_bytes,
             },
         }
+    }
+
+    /// A compressed grid over no points at all — the seed of incremental
+    /// construction via [`Self::append_nodes`].
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim >= 1, "dimension must be positive");
+        CompressedGrid {
+            dim,
+            nno: 0,
+            nfreq: 1,
+            xps: vec![XpsEntry::SENTINEL],
+            chains: Vec::new(),
+            order: Vec::new(),
+            stats: CompressionStats {
+                zero_fraction: 1.0,
+                compressed_bytes: std::mem::size_of::<XpsEntry>(),
+                dense_bytes: 0,
+            },
+        }
+    }
+
+    /// Appends grid points to the compressed structure **without
+    /// re-running the pipeline**: a chain row is a point's non-trivial
+    /// 1-D factors as `xps` ids in ascending dimension order, so new
+    /// points only need their elements interned into the (tiny) `xps`
+    /// dictionary and one row appended to `chains`/`order`. The chain
+    /// stride widens in place when a new point has more non-zeros than
+    /// any before it (old rows keep their 0 terminators).
+    ///
+    /// Every kernel invariant of [`Self::from_raw_parts`] is preserved,
+    /// and the result is independent of how a sequence of appends is
+    /// batched — appending ids `A` then `B` is bitwise identical to
+    /// appending `A ∪ B` at once. The *row order* is append order, not
+    /// the pipeline's frequency-sorted order, so an appended grid is a
+    /// valid (equally exact) interpolant with a different — still
+    /// streaming — surplus layout.
+    pub fn append_nodes(&mut self, grid: &SparseGrid, new_ids: &[u32]) {
+        assert_eq!(grid.dim(), self.dim, "grid dim mismatch");
+        use std::collections::HashMap;
+        let mut seen: HashMap<XpsEntry, u32> = self
+            .xps
+            .iter()
+            .enumerate()
+            .map(|(id, &e)| (e, id as u32))
+            .collect();
+
+        for &p in new_ids {
+            let node = grid.node(p as usize);
+            let row_len = node.active_count();
+            if row_len > self.nfreq {
+                // Widen the stride: old rows are re-laid with trailing
+                // zeros (the chain terminator), identical to what a
+                // one-shot append with the wider stride would hold.
+                let mut widened = vec![0u32; self.nno * row_len];
+                for (r, chain) in self.chains.chunks_exact(self.nfreq).enumerate() {
+                    widened[r * row_len..r * row_len + self.nfreq].copy_from_slice(chain);
+                }
+                self.chains = widened;
+                self.nfreq = row_len;
+            }
+            let start = self.chains.len();
+            self.chains.extend(std::iter::repeat_n(0, self.nfreq));
+            for (k, c) in node.active().enumerate() {
+                let (l, i) = basis::scaled_pair(c.level, c.index);
+                debug_assert!(l >= 2, "active coord must be level >= 2");
+                let entry = XpsEntry {
+                    index: c.dim as u32,
+                    l,
+                    i,
+                };
+                let id = *seen.entry(entry).or_insert_with(|| {
+                    self.xps.push(entry);
+                    (self.xps.len() - 1) as u32
+                });
+                self.chains[start + k] = id;
+            }
+            self.order.push(p);
+            self.nno += 1;
+        }
+
+        let nonzero = self.chains.iter().filter(|&&c| c != 0).count();
+        self.stats = CompressionStats {
+            zero_fraction: 1.0 - nonzero as f64 / (self.nno * self.dim).max(1) as f64,
+            compressed_bytes: self.xps.len() * std::mem::size_of::<XpsEntry>()
+                + self.chains.len() * 4,
+            dense_bytes: self.nno * self.dim * 2 * std::mem::size_of::<u16>(),
+        };
+        debug_assert!(self.order.iter().all(|&o| (o as usize) < grid.len()));
     }
 
     /// Dimensionality `d`.
@@ -557,6 +664,124 @@ mod tests {
         let mut out = [0.0];
         cg.interpolate_scalar(&reordered, 1, &[0.1; 7], &mut xpv, &mut out);
         assert_eq!(out[0], 3.25);
+    }
+
+    #[test]
+    fn append_nodes_batching_is_invisible() {
+        // Appending in many small batches must be bitwise identical to
+        // one big append — the extend-equals-rebuild contract.
+        let grid = regular_grid(4, 4);
+        let all: Vec<u32> = (0..grid.len() as u32).collect();
+        let mut oneshot = CompressedGrid::empty(4);
+        oneshot.append_nodes(&grid, &all);
+        let mut batched = CompressedGrid::empty(4);
+        let mut at = 0usize;
+        let mut step = 1usize;
+        while at < all.len() {
+            let end = (at + step).min(all.len());
+            batched.append_nodes(&grid, &all[at..end]);
+            at = end;
+            step = step * 2 + 1;
+        }
+        assert_eq!(oneshot.nno(), batched.nno());
+        assert_eq!(oneshot.nfreq(), batched.nfreq());
+        assert_eq!(oneshot.xps(), batched.xps());
+        assert_eq!(oneshot.chains(), batched.chains());
+        assert_eq!(oneshot.order(), batched.order());
+    }
+
+    #[test]
+    fn appended_grid_interpolates_like_the_pipeline() {
+        // Append order differs from the pipeline's frequency-sorted
+        // order, but the interpolant it represents is the same function.
+        let grid = regular_grid(3, 4);
+        let ndofs = 2;
+        let mut surplus = tabulate(&grid, ndofs, smooth);
+        hierarchize(&grid, &mut surplus, ndofs);
+
+        let built = CompressedGrid::build(&grid);
+        let built_rows = built.reorder_rows(&surplus, ndofs);
+
+        let all: Vec<u32> = (0..grid.len() as u32).collect();
+        let mut appended = CompressedGrid::empty(3);
+        appended.append_nodes(&grid, &all);
+        // Append order == grid order, so the surplus matrix needs no
+        // permutation at all (order is the identity here).
+        assert!(appended
+            .order()
+            .iter()
+            .enumerate()
+            .all(|(i, &o)| i == o as usize));
+        let appended_rows = appended.reorder_rows(&surplus, ndofs);
+        assert_eq!(appended_rows, surplus);
+
+        // Invariants of from_raw_parts hold for the appended structure.
+        let revalidated = CompressedGrid::from_raw_parts(
+            appended.dim(),
+            appended.nfreq(),
+            appended.xps().to_vec(),
+            appended.chains().to_vec(),
+            appended.order().to_vec(),
+        );
+        assert!((revalidated.stats().zero_fraction - appended.stats().zero_fraction).abs() < 1e-12);
+
+        let mut xpv_a = vec![0.0; built.xps().len()];
+        let mut xpv_b = vec![0.0; appended.xps().len()];
+        let mut a = vec![0.0; ndofs];
+        let mut b = vec![0.0; ndofs];
+        for x in lattice_points(3, 30) {
+            built.interpolate_scalar(&built_rows, ndofs, &x, &mut xpv_a, &mut a);
+            appended.interpolate_scalar(&appended_rows, ndofs, &x, &mut xpv_b, &mut b);
+            for k in 0..ndofs {
+                assert!((a[k] - b[k]).abs() < 1e-12, "dof {k} at {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_widens_the_chain_stride_in_place() {
+        use hddm_asg::ActiveCoord;
+        let mut grid = SparseGrid::new(3);
+        grid.insert(NodeKey::root());
+        let first = grid.len() as u32;
+        let mut cg = CompressedGrid::empty(3);
+        cg.append_nodes(&grid, &(0..first).collect::<Vec<_>>());
+        assert_eq!(cg.nfreq(), 1);
+        // A node with three active dims forces nfreq 1 → 3.
+        grid.insert_closed(NodeKey::from_coords([
+            ActiveCoord {
+                dim: 0,
+                level: 2,
+                index: 0,
+            },
+            ActiveCoord {
+                dim: 1,
+                level: 2,
+                index: 2,
+            },
+            ActiveCoord {
+                dim: 2,
+                level: 2,
+                index: 0,
+            },
+        ]));
+        let rest: Vec<u32> = (first..grid.len() as u32).collect();
+        cg.append_nodes(&grid, &rest);
+        assert_eq!(cg.nfreq(), 3);
+        assert_eq!(cg.nno(), grid.len());
+        assert_eq!(cg.chains().len(), grid.len() * 3);
+        // Widened old rows terminate with zeros.
+        assert_eq!(&cg.chains()[..3], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn build_counter_counts_pipeline_runs_only() {
+        let grid = regular_grid(3, 3);
+        let before = crate::compression_builds();
+        let _ = CompressedGrid::build(&grid);
+        let mut inc = CompressedGrid::empty(3);
+        inc.append_nodes(&grid, &(0..grid.len() as u32).collect::<Vec<_>>());
+        assert_eq!(crate::compression_builds(), before + 1);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 pub mod compressed;
 pub mod pipeline;
 
-pub use compressed::{CompressedGrid, CompressionStats};
+pub use compressed::{compression_builds, CompressedGrid, CompressionStats};
 pub use pipeline::{
     build_chains, decompose, renumber, transition, unique_elements, Renumbering, UniqueElements,
     XiElement, XiFreq, XiSparse, XpsEntry,

@@ -20,7 +20,7 @@ use hddm_cluster::{multiplex_states, proportional_ranks, Comm};
 use hddm_compress::CompressedGrid;
 use hddm_kernels::CompressedState;
 
-use crate::driver::{incremental_surpluses, DriverConfig, StepModel, StepReport};
+use crate::driver::{DriverConfig, IncrementalHierarchizer, StepModel, StepReport};
 use crate::policy::PolicySet;
 
 /// One state's finished interpolant plus its per-level frontier sizes,
@@ -186,6 +186,7 @@ fn build_state<M: StepModel, C: Comm>(
     let mut frontier: Vec<u32> = (0..grid.len() as u32).collect();
     let mut surpluses: Vec<f64> = Vec::new();
     let mut levels = Vec::new();
+    let mut hier = IncrementalHierarchizer::new(config.kernel, dim, ndofs);
 
     let mut oracle = policy.oracle(config.kernel);
     let mut unit = vec![0.0; dim];
@@ -246,9 +247,10 @@ fn build_state<M: StepModel, C: Comm>(
         }
         assert!(seen.iter().all(|&s| s), "merge missed frontier points");
 
-        // --- Hierarchize (deterministic, replicated in the group).
-        let new_surpluses =
-            incremental_surpluses(config.kernel, &grid, &frontier, &surpluses, &solved, ndofs);
+        // --- Hierarchize (deterministic, replicated in the group; the
+        // hierarchizer extends its compressed state — no per-level
+        // recompression).
+        let new_surpluses = hier.extend(&grid, &frontier, &solved);
         surpluses.extend_from_slice(&new_surpluses);
 
         // --- Refine (same surpluses everywhere ⇒ same refinement).

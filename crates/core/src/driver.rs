@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use hddm_asg::{refine_frontier, regular_grid, BoxDomain, RefineConfig, SparseGrid, SurplusNorm};
 use hddm_compress::CompressedGrid;
-use hddm_kernels::{CompressedState, KernelKind};
+use hddm_kernels::{CompressedState, KernelKind, PointBlock, Scratch};
 use hddm_olg::PolicyOracle;
 use hddm_sched::{parallel_for_init, PoolConfig};
 use hddm_solver::SolverError;
@@ -129,14 +129,11 @@ pub fn initial_policy<M: StepModel>(model: &M, start_level: u8) -> PolicySet {
         chunk.copy_from_slice(&row);
     }
     hddm_asg::hierarchize(&grid, &mut values, ndofs);
+    // One compression serves every state: the start-level grid is shared.
+    let cg = CompressedGrid::build(&grid);
+    let chain_order = cg.reorder_rows(&values, ndofs);
     let states = (0..model.num_states())
-        .map(|_| {
-            CompressedState::from_parts(
-                CompressedGrid::build(&grid),
-                CompressedGrid::build(&grid).reorder_rows(&values, ndofs),
-                ndofs,
-            )
-        })
+        .map(|_| CompressedState::from_parts(cg.clone(), chain_order.clone(), ndofs))
         .collect();
     PolicySet::new(states, domain)
 }
@@ -203,28 +200,23 @@ impl<M: StepModel> TimeIteration<M> {
             let mut frontier: Vec<u32> = (0..grid.len() as u32).collect();
             let mut surpluses: Vec<f64> = Vec::new();
             let mut levels_here: Vec<usize> = Vec::new();
+            let mut hier = IncrementalHierarchizer::new(self.config.kernel, dim, ndofs);
 
             loop {
                 levels_here.push(frontier.len());
                 // --- Solve the frontier in parallel against pnext.
                 let solved = self.solve_points(z, &grid, &frontier, &domain, &mut failures);
                 // --- Measure policy change at these points (vs pnext).
-                let (s, q, c) = self.measure_change(z, &grid, &frontier, &domain, &solved);
+                let (s, q, c) = self.measure_change(z, &grid, &frontier, &solved);
                 sup_change = sup_change.max(s);
                 sum_sq += q;
                 change_count += c;
                 values.extend_from_slice(&solved);
 
                 // --- Hierarchize the new rows against the current partial
-                // interpolant of *this* step (coarser levels already done).
-                let new_surpluses = incremental_surpluses(
-                    self.config.kernel,
-                    &grid,
-                    &frontier,
-                    &surpluses,
-                    &solved,
-                    ndofs,
-                );
+                // interpolant of *this* step (coarser levels already done);
+                // the hierarchizer extends its compressed state in place.
+                let new_surpluses = hier.extend(&grid, &frontier, &solved);
                 surpluses.extend_from_slice(&new_surpluses);
 
                 // --- Refine.
@@ -338,28 +330,39 @@ impl<M: StepModel> TimeIteration<M> {
     }
 
     /// Policy-change metrics at the frontier points: sup and squared-sum
-    /// of the relative difference between the new rows and pnext.
+    /// of the relative difference between the new rows and pnext. The
+    /// frontier is evaluated against pnext as one batched kernel call.
     fn measure_change(
         &self,
         z: usize,
         grid: &SparseGrid,
         frontier: &[u32],
-        _domain: &BoxDomain,
         solved: &[f64],
     ) -> (f64, f64, usize) {
         let ndofs = self.model.ndofs();
-        let mut oracle = self.policy.oracle(self.config.kernel);
-        let mut unit = vec![0.0; self.model.dim()];
-        let mut old = vec![0.0; ndofs];
+        let dim = self.model.dim();
+        let mut unit = vec![0.0; dim];
+        let mut rows = Vec::with_capacity(frontier.len() * dim);
+        for &p in frontier {
+            grid.unit_point_of(p as usize, &mut unit);
+            rows.extend_from_slice(&unit);
+        }
+        let block = PointBlock::from_rows(dim, &rows);
+        let mut scratch = Scratch::default();
+        let mut old = vec![0.0; frontier.len() * ndofs];
+        self.policy.states.evaluate_one_batch(
+            self.config.kernel,
+            z,
+            &block,
+            &mut scratch,
+            &mut old,
+        );
         let mut sup = 0.0f64;
         let mut sum_sq = 0.0;
         let mut count = 0usize;
-        for (i, &p) in frontier.iter().enumerate() {
-            grid.unit_point_of(p as usize, &mut unit);
-            oracle.eval_unit(z, &unit, &mut old);
-            let new_row = &solved[i * ndofs..(i + 1) * ndofs];
+        for (new_row, old_row) in solved.chunks_exact(ndofs).zip(old.chunks_exact(ndofs)) {
             for k in 0..ndofs {
-                let delta = (new_row[k] - old[k]).abs() / (1.0 + old[k].abs());
+                let delta = (new_row[k] - old_row[k]).abs() / (1.0 + old_row[k].abs());
                 sup = sup.max(delta);
                 sum_sq += delta * delta;
                 count += 1;
@@ -369,91 +372,124 @@ impl<M: StepModel> TimeIteration<M> {
     }
 }
 
-/// Surpluses of the frontier rows relative to the current partial
-/// interpolant of this step: `α_p = f(x_p) − u_partial(x_p)`. For the
-/// first (start-level) batch this is a plain hierarchization.
+/// Incremental hierarchization of one state's grid within one
+/// time-iteration step: computes surpluses of each refinement frontier
+/// relative to the partial interpolant built so far
+/// (`α_p = f(x_p) − u_partial(x_p)`) and **extends** that interpolant in
+/// place, so the compressed structure is never rebuilt per level — the
+/// per-step compression pipeline runs exactly once, on the finished grid
+/// (asserted against [`hddm_compress::compression_builds`] by test).
 ///
 /// Ancestor closure can mix level sums within one refinement batch, and
-/// a coarser new node contributes to a finer new node's interpolant —
-/// so the batch is processed in ascending-`|ľ|₁` groups, folding each
-/// group into the partial interpolant before the next (within a group,
-/// cross terms vanish at grid points; see `hddm-asg`). Shared by the
-/// single-process driver and the distributed step (`crate::distributed`);
-/// deterministic, so every rank hierarchizing the same rows gets bitwise
-/// identical surpluses.
-pub(crate) fn incremental_surpluses(
+/// a coarser new node contributes to a finer new node's interpolant — so
+/// each batch is processed in ascending-`|ľ|₁` groups, evaluating every
+/// group against the partial interpolant as **one batched kernel call**
+/// ([`KernelKind::evaluate_compressed_batch`]) and folding it in via
+/// [`CompressedState::extend_from_frontier`] before the next (within a
+/// group, cross terms vanish at grid points; see `hddm-asg`). Shared by
+/// the single-process driver and the distributed step
+/// (`crate::distributed`); deterministic, so every rank hierarchizing the
+/// same rows gets bitwise identical surpluses.
+pub struct IncrementalHierarchizer {
     kernel: KernelKind,
-    grid: &SparseGrid,
-    frontier: &[u32],
-    surpluses_so_far: &[f64],
-    solved: &[f64],
     ndofs: usize,
-) -> Vec<f64> {
-    if surpluses_so_far.is_empty() {
-        // First batch: the frontier is the whole start-level grid.
-        let mut values = solved.to_vec();
-        hddm_asg::hierarchize(grid, &mut values, ndofs);
-        return values;
-    }
-    let dim = grid.dim();
-    let prefix = surpluses_so_far.len() / ndofs;
+    state: CompressedState,
+    scratch: Scratch,
+}
 
-    // Group frontier positions by level sum, ascending.
-    let mut order: Vec<usize> = (0..frontier.len()).collect();
-    let level_of = |pos: usize| grid.node(frontier[pos] as usize).level_sum(dim);
-    order.sort_by_key(|&pos| level_of(pos));
-
-    // Growing partial interpolant: prefix nodes + already-processed
-    // frontier groups.
-    let mut partial_grid = SparseGrid::new(dim);
-    for i in 0..prefix {
-        partial_grid.insert(grid.node(i).clone());
-    }
-    let mut partial_surplus = surpluses_so_far.to_vec();
-
-    let mut scratch = hddm_kernels::Scratch::default();
-    let mut unit = vec![0.0; dim];
-    let mut interp = vec![0.0; ndofs];
-    let mut out = vec![0.0; frontier.len() * ndofs];
-
-    let mut at = 0usize;
-    while at < order.len() {
-        let group_level = level_of(order[at]);
-        let group_end = order[at..]
-            .iter()
-            .position(|&pos| level_of(pos) != group_level)
-            .map(|offset| at + offset)
-            .unwrap_or(order.len());
-
-        // Interpolant over everything strictly processed so far.
-        let cg = CompressedGrid::build(&partial_grid);
-        let state = CompressedState::from_parts(
-            cg.clone(),
-            cg.reorder_rows(&partial_surplus, ndofs),
+impl IncrementalHierarchizer {
+    /// A fresh hierarchizer for one `(state, step)` grid construction.
+    pub fn new(kernel: KernelKind, dim: usize, ndofs: usize) -> Self {
+        IncrementalHierarchizer {
+            kernel,
             ndofs,
-        );
-
-        for &pos in &order[at..group_end] {
-            let p = frontier[pos] as usize;
-            grid.unit_point_of(p, &mut unit);
-            kernel.evaluate_compressed(&state, &unit, &mut scratch, &mut interp);
-            let row = &solved[pos * ndofs..(pos + 1) * ndofs];
-            for k in 0..ndofs {
-                out[pos * ndofs + k] = row[k] - interp[k];
-            }
+            state: CompressedState::empty(dim, ndofs),
+            scratch: Scratch::default(),
         }
-
-        // Fold the group into the partial interpolant. The partial
-        // surplus vector must stay aligned with partial_grid insertion
-        // order, so append in the same order as the inserts.
-        for &pos in &order[at..group_end] {
-            let p = frontier[pos] as usize;
-            partial_grid.insert(grid.node(p).clone());
-            partial_surplus.extend_from_slice(&out[pos * ndofs..(pos + 1) * ndofs]);
-        }
-        at = group_end;
     }
-    out
+
+    /// The partial interpolant built so far (kernel-ready; covers every
+    /// frontier folded in to date).
+    pub fn state(&self) -> &CompressedState {
+        &self.state
+    }
+
+    /// Hierarchizes the next frontier batch: returns the new surplus rows
+    /// in frontier order and extends the partial interpolant. The first
+    /// call must cover the whole start-level grid (a plain
+    /// hierarchization); later calls cover refinement frontiers.
+    pub fn extend(&mut self, grid: &SparseGrid, frontier: &[u32], solved: &[f64]) -> Vec<f64> {
+        let ndofs = self.ndofs;
+        assert_eq!(solved.len(), frontier.len() * ndofs, "ragged solved rows");
+        if self.state.grid.nno() == 0 {
+            // First batch: the frontier is the whole start-level grid.
+            debug_assert!(frontier.iter().enumerate().all(|(i, &p)| i == p as usize));
+            let mut values = solved.to_vec();
+            hddm_asg::hierarchize(grid, &mut values, ndofs);
+            self.state.extend_from_frontier(grid, frontier, &values);
+            return values;
+        }
+        let dim = grid.dim();
+
+        // Group frontier positions by level sum, ascending.
+        let mut order: Vec<usize> = (0..frontier.len()).collect();
+        let level_of = |pos: usize| grid.node(frontier[pos] as usize).level_sum(dim);
+        order.sort_by_key(|&pos| level_of(pos));
+
+        let mut unit = vec![0.0; dim];
+        let mut out = vec![0.0; frontier.len() * ndofs];
+        let mut point_rows: Vec<f64> = Vec::new();
+        let mut interp: Vec<f64> = Vec::new();
+        let mut group_ids: Vec<u32> = Vec::new();
+        let mut group_rows: Vec<f64> = Vec::new();
+
+        let mut at = 0usize;
+        while at < order.len() {
+            let group_level = level_of(order[at]);
+            let group_end = order[at..]
+                .iter()
+                .position(|&pos| level_of(pos) != group_level)
+                .map(|offset| at + offset)
+                .unwrap_or(order.len());
+            let group = &order[at..group_end];
+
+            // One batched evaluation of the whole group against the
+            // interpolant over everything strictly processed so far
+            // (rows gathered point-major, transposed to SoA in one pass).
+            point_rows.clear();
+            for &pos in group {
+                grid.unit_point_of(frontier[pos] as usize, &mut unit);
+                point_rows.extend_from_slice(&unit);
+            }
+            let block = PointBlock::from_rows(dim, &point_rows);
+            interp.clear();
+            interp.resize(group.len() * ndofs, 0.0);
+            self.kernel.evaluate_compressed_batch(
+                &self.state,
+                &block,
+                &mut self.scratch,
+                &mut interp,
+            );
+
+            group_ids.clear();
+            group_rows.clear();
+            for (g, &pos) in group.iter().enumerate() {
+                let row = &solved[pos * ndofs..(pos + 1) * ndofs];
+                let ev = &interp[g * ndofs..(g + 1) * ndofs];
+                for k in 0..ndofs {
+                    out[pos * ndofs + k] = row[k] - ev[k];
+                }
+                group_ids.push(frontier[pos]);
+                group_rows.extend_from_slice(&out[pos * ndofs..(pos + 1) * ndofs]);
+            }
+            // Fold the group into the partial interpolant (append-only —
+            // no recompression, no surplus permutation).
+            self.state
+                .extend_from_frontier(grid, &group_ids, &group_rows);
+            at = group_end;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -557,34 +593,6 @@ mod tests {
 
     #[test]
     fn adaptive_refinement_grows_grids_when_needed() {
-        /// Fixed point has a kink → adaptivity must add points.
-        struct Kinked;
-        impl StepModel for Kinked {
-            fn dim(&self) -> usize {
-                2
-            }
-            fn ndofs(&self) -> usize {
-                1
-            }
-            fn num_states(&self) -> usize {
-                1
-            }
-            fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
-                (vec![0.0; 2], vec![1.0; 2])
-            }
-            fn initial_row(&self) -> Vec<f64> {
-                vec![0.0]
-            }
-            fn solve_point_row(
-                &self,
-                _z: usize,
-                x: &[f64],
-                _warm: &[f64],
-                _oracle: &mut dyn PolicyOracle,
-            ) -> Result<Vec<f64>, SolverError> {
-                Ok(vec![(x[0] - 0.3).abs() + 0.2 * x[1]])
-            }
-        }
         let config = DriverConfig {
             start_level: 2,
             refine_epsilon: Some(1e-3),
@@ -601,6 +609,140 @@ mod tests {
             report.points_per_state
         );
         assert!(report.level_points.len() > 1);
+    }
+
+    /// Fixed point has a kink → adaptivity adds points (shared by the
+    /// refinement and compression-count tests).
+    struct Kinked;
+    impl StepModel for Kinked {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn ndofs(&self) -> usize {
+            1
+        }
+        fn num_states(&self) -> usize {
+            1
+        }
+        fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+            (vec![0.0; 2], vec![1.0; 2])
+        }
+        fn initial_row(&self) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn solve_point_row(
+            &self,
+            _z: usize,
+            x: &[f64],
+            _warm: &[f64],
+            _oracle: &mut dyn PolicyOracle,
+        ) -> Result<Vec<f64>, SolverError> {
+            Ok(vec![(x[0] - 0.3).abs() + 0.2 * x[1]])
+        }
+    }
+
+    #[test]
+    fn compression_runs_once_per_solve_not_once_per_level() {
+        // A refining step builds the grid over several levels; the
+        // compression pipeline must still run exactly once per state
+        // (on the finished grid), not once per level group — the
+        // incremental hierarchizer extends its state instead.
+        let config = DriverConfig {
+            start_level: 2,
+            refine_epsilon: Some(1e-3),
+            max_level: 6,
+            max_steps: 1,
+            pool: PoolConfig {
+                threads: 1,
+                grain: 4,
+            },
+            ..Default::default()
+        };
+        let mut ti = TimeIteration::new(Kinked, config);
+        let before = hddm_compress::compression_builds();
+        let report = ti.step();
+        let builds = hddm_compress::compression_builds() - before;
+        assert!(
+            report.level_points.len() > 1,
+            "refinement must produce multiple level groups: {:?}",
+            report.level_points
+        );
+        assert_eq!(builds, 1, "one compression per solve (ns = 1)");
+    }
+
+    #[test]
+    fn incremental_hierarchizer_matches_full_rebuild() {
+        use hddm_asg::{refine_frontier, RefineConfig, SurplusNorm};
+        // Grow a grid level by level with a kinked target function; the
+        // extended state must interpolate exactly like a from-scratch
+        // compression of the final grid + surpluses.
+        let dim = 2;
+        let ndofs = 2;
+        let f = |x: &[f64], out: &mut [f64]| {
+            out[0] = (x[0] - 0.3).abs() + 0.2 * x[1];
+            out[1] = x[0] * x[1] + 0.1;
+        };
+        let mut grid = regular_grid(dim, 2);
+        let mut frontier: Vec<u32> = (0..grid.len() as u32).collect();
+        let mut surpluses: Vec<f64> = Vec::new();
+        let mut hier = IncrementalHierarchizer::new(KernelKind::Avx2, dim, ndofs);
+        let mut unit = vec![0.0; dim];
+        for level in 0..4 {
+            let mut solved = vec![0.0; frontier.len() * ndofs];
+            for (i, &p) in frontier.iter().enumerate() {
+                grid.unit_point_of(p as usize, &mut unit);
+                f(&unit, &mut solved[i * ndofs..(i + 1) * ndofs]);
+            }
+            let new = hier.extend(&grid, &frontier, &solved);
+            surpluses.extend_from_slice(&new);
+            if level == 3 {
+                // Last pass: stop before refining again, so every grid
+                // node has been folded into the hierarchizer.
+                break;
+            }
+            let report = refine_frontier(
+                &mut grid,
+                &surpluses,
+                ndofs,
+                &frontier,
+                &RefineConfig {
+                    epsilon: 1e-3,
+                    max_level: 6,
+                    norm: SurplusNorm::MaxAbs,
+                },
+            );
+            if report.new_nodes.is_empty() {
+                break;
+            }
+            frontier = report.new_nodes;
+        }
+        assert_eq!(hier.state().grid.nno(), grid.len());
+        // Reference: full pipeline compression of the final surpluses.
+        let rebuilt = CompressedState::new(&grid, &surpluses, ndofs);
+        let mut scratch = Scratch::default();
+        let mut a = vec![0.0; ndofs];
+        let mut b = vec![0.0; ndofs];
+        for s in 0..60 {
+            let x = [
+                ((s * 13 + 5) as f64 * 0.0137) % 1.0,
+                ((s * 7 + 11) as f64 * 0.0231) % 1.0,
+            ];
+            KernelKind::X86.evaluate_compressed(hier.state(), &x, &mut scratch, &mut a);
+            KernelKind::X86.evaluate_compressed(&rebuilt, &x, &mut scratch, &mut b);
+            for k in 0..ndofs {
+                assert!((a[k] - b[k]).abs() < 1e-12, "dof {k} at {x:?}");
+            }
+        }
+        // Exact at every grid point (interpolation property).
+        let mut want = vec![0.0; ndofs];
+        for i in 0..grid.len() {
+            grid.unit_point_of(i, &mut unit);
+            f(&unit, &mut want);
+            KernelKind::X86.evaluate_compressed(hier.state(), &unit, &mut scratch, &mut a);
+            for k in 0..ndofs {
+                assert!((a[k] - want[k]).abs() < 1e-10, "grid point {i} dof {k}");
+            }
+        }
     }
 
     #[test]

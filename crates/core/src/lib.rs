@@ -35,6 +35,8 @@ pub mod policy;
 
 pub use checkpoint::{Checkpoint, StateRecord, CHECKPOINT_VERSION};
 pub use distributed::{distributed_run, distributed_step};
-pub use driver::{initial_policy, DriverConfig, StepModel, StepReport, TimeIteration};
+pub use driver::{
+    initial_policy, DriverConfig, IncrementalHierarchizer, StepModel, StepReport, TimeIteration,
+};
 pub use olg_step::OlgStep;
 pub use policy::{AsgOracle, PolicySet};

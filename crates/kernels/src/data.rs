@@ -65,15 +65,66 @@ impl CompressedState {
             ndofs,
         }
     }
+
+    /// An interpolant over no points at all — the seed of incremental
+    /// construction ([`Self::append_rows`]). Evaluates to zero everywhere.
+    pub fn empty(dim: usize, ndofs: usize) -> Self {
+        CompressedState {
+            grid: CompressedGrid::empty(dim),
+            surplus: Vec::new(),
+            ndofs,
+        }
+    }
+
+    /// Appends the grid points `new_ids` (dense ids into `grid`) together
+    /// with their surplus rows (`new_ids.len() × ndofs`, in `new_ids`
+    /// order) to this interpolant **without recompressing**: chain rows
+    /// are derived per point and appended, the `xps` dictionary grows
+    /// only by genuinely new 1-D elements, and the reorder invariant is
+    /// preserved — `order` maps every appended chain row back to its
+    /// dense id, so [`CompressedGrid::restore_rows`] keeps working.
+    ///
+    /// Appending the same ids in one call or split across many calls
+    /// produces **bitwise identical** states (the extend-equals-rebuild
+    /// property the driver's incremental hierarchization relies on).
+    pub fn append_rows(&mut self, grid: &SparseGrid, new_ids: &[u32], rows: &[f64]) {
+        assert_eq!(
+            rows.len(),
+            new_ids.len() * self.ndofs,
+            "ragged surplus rows"
+        );
+        self.grid.append_nodes(grid, new_ids);
+        self.surplus.extend_from_slice(rows);
+    }
+
+    /// [`Self::append_rows`] under the name the driver's per-level loop
+    /// uses: extends the partial interpolant of the current step by one
+    /// refinement frontier (already hierarchized rows in frontier order).
+    pub fn extend_from_frontier(&mut self, grid: &SparseGrid, frontier: &[u32], rows: &[f64]) {
+        self.append_rows(grid, frontier, rows);
+    }
 }
 
 /// Reusable per-thread evaluation scratch. Sized for the largest state it
 /// has seen; the `xpv` array is the cache/shared-memory resident working
-/// set the compression was designed around.
+/// set the compression was designed around. The batch kernels keep their
+/// entry-major `xpv` block and chain-product vector here too, sized once
+/// per block — never reallocated per point.
 #[derive(Clone, Debug, Default)]
 pub struct Scratch {
     /// Clamped 1-D basis values, one per `xps` entry.
     pub xpv: Vec<f64>,
+    /// Entry-major basis-value block for batched evaluation
+    /// (`nxps × chunk`).
+    xpv_block: Vec<f64>,
+    /// Per-point running chain products (`chunk`).
+    temps: Vec<f64>,
+    /// Per-xps-entry nonzero-lane masks (`nxps`), the chain pruning index.
+    colmask: Vec<u64>,
+    /// High-water marks of the batch buffers, asserting that capacity is
+    /// monotone across the chunks of a batch (a shrink would mean a
+    /// reallocation snuck back into the hot loop).
+    watermark: (usize, usize),
 }
 
 impl Scratch {
@@ -84,5 +135,50 @@ impl Scratch {
             self.xpv.resize(nxps, 0.0);
         }
         &mut self.xpv[..nxps]
+    }
+
+    /// Ensures batch capacity for `nxps` unique elements × a chunk of
+    /// `chunk` points, returning the `(xpv_block, temps, colmask)`
+    /// triple. Buffers only ever grow — sized by the first (largest)
+    /// chunk of a batch, then reused; the debug assertion fires if a
+    /// request at or below the high-water mark ever reallocates, i.e. if
+    /// per-chunk reallocation sneaks back into the hot loop.
+    #[inline]
+    pub fn prepare_batch(
+        &mut self,
+        nxps: usize,
+        chunk: usize,
+    ) -> (&mut [f64], &mut [f64], &mut [u64]) {
+        #[cfg(debug_assertions)]
+        let caps = (self.xpv_block.capacity(), self.temps.capacity());
+        if self.xpv_block.len() < nxps * chunk {
+            self.xpv_block.resize(nxps * chunk, 0.0);
+        }
+        if self.temps.len() < chunk {
+            self.temps.resize(chunk, 0.0);
+        }
+        if self.colmask.len() < nxps {
+            self.colmask.resize(nxps, 0);
+        }
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                nxps * chunk > self.watermark.0 || self.xpv_block.capacity() == caps.0,
+                "xpv block reallocated below its high-water mark"
+            );
+            debug_assert!(
+                chunk > self.watermark.1 || self.temps.capacity() == caps.1,
+                "temps reallocated below their high-water mark"
+            );
+        }
+        self.watermark = (
+            self.watermark.0.max(nxps * chunk),
+            self.watermark.1.max(chunk),
+        );
+        (
+            &mut self.xpv_block[..nxps * chunk],
+            &mut self.temps[..chunk],
+            &mut self.colmask[..nxps],
+        )
     }
 }

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod data;
 pub mod gold;
 pub mod hashtab;
@@ -25,6 +26,7 @@ pub mod multi;
 pub mod vector;
 pub mod x86;
 
+pub use batch::{PointBlock, BATCH_CHUNK};
 pub use data::{CompressedState, DenseState, Scratch};
 pub use hashtab::HashState;
 pub use multi::MultiState;
@@ -92,6 +94,28 @@ impl KernelKind {
             KernelKind::Avx => vector::interpolate_avx(state, x, scratch, out),
             KernelKind::Avx2 => vector::interpolate_avx2(state, x, scratch, out),
             KernelKind::Avx512 => vector::interpolate_avx512(state, x, scratch, out),
+        }
+    }
+
+    /// Evaluates a compressed-format interpolant at a whole
+    /// [`PointBlock`] (`out` is point-major `npts × ndofs`). Each variant
+    /// is bitwise equal to looping its single-point counterpart over the
+    /// block, but walks the compressed structure — and streams the
+    /// surplus matrix — once per block instead of once per point. Panics
+    /// for [`KernelKind::Gold`], which needs the dense format.
+    pub fn evaluate_compressed_batch(
+        self,
+        state: &CompressedState,
+        block: &PointBlock,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        match self {
+            KernelKind::Gold => panic!("gold kernel requires DenseState"),
+            KernelKind::X86 => batch::interpolate_batch(state, block, scratch, out),
+            KernelKind::Avx => batch::interpolate_batch_avx(state, block, scratch, out),
+            KernelKind::Avx2 => batch::interpolate_batch_avx2(state, block, scratch, out),
+            KernelKind::Avx512 => batch::interpolate_batch_avx512(state, block, scratch, out),
         }
     }
 }

@@ -7,6 +7,7 @@
 //! [`CompressedState`] per discrete shock and evaluates them in one call,
 //! reusing scratch.
 
+use crate::batch::PointBlock;
 use crate::data::{CompressedState, Scratch};
 use crate::KernelKind;
 
@@ -84,6 +85,42 @@ impl MultiState {
         out: &mut [f64],
     ) {
         kernel.evaluate_compressed(&self.states[z], x, scratch, out);
+    }
+
+    /// Evaluates a single state's interpolant at a whole [`PointBlock`]
+    /// (`out` is point-major `npts × ndofs`) — the batched counterpart of
+    /// [`Self::evaluate_one`], bitwise equal to looping it per point.
+    pub fn evaluate_one_batch(
+        &self,
+        kernel: KernelKind,
+        z: usize,
+        block: &PointBlock,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        kernel.evaluate_compressed_batch(&self.states[z], block, scratch, out);
+    }
+
+    /// Evaluates every state's interpolant at the same [`PointBlock`]:
+    /// state `z`'s rows land at
+    /// `out[z·npts·ndofs .. (z+1)·npts·ndofs]` (point-major within each
+    /// state). One chain walk per state per block instead of one per
+    /// state per point.
+    pub fn evaluate_all_batch(
+        &self,
+        kernel: KernelKind,
+        block: &PointBlock,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        let span = block.len() * self.ndofs;
+        assert_eq!(out.len(), span * self.states.len());
+        if span == 0 {
+            return;
+        }
+        for (z, slot) in out.chunks_exact_mut(span).enumerate() {
+            kernel.evaluate_compressed_batch(&self.states[z], block, scratch, slot);
+        }
     }
 }
 

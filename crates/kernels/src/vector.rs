@@ -139,11 +139,12 @@ fn axpy_avx512_safe(a: f64, x: &[f64], y: &mut [f64]) {
     crate::lanes::axpy::<8>(a, x, y)
 }
 
-type Axpy = fn(f64, &[f64], &mut [f64]);
+/// An accumulation routine `y += a·x` (shared with the batch kernels).
+pub(crate) type Axpy = fn(f64, &[f64], &mut [f64]);
 
 /// Picks the accumulation routine for an ISA, falling back to the portable
 /// lane implementation of the same width when the CPU lacks the feature.
-fn select_axpy(isa: VectorIsa) -> Axpy {
+pub(crate) fn select_axpy(isa: VectorIsa) -> Axpy {
     match (isa, isa.native()) {
         (VectorIsa::Avx, true) => axpy_avx_safe,
         (VectorIsa::Avx2, true) => axpy_avx2_safe,

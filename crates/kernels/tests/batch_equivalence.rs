@@ -1,0 +1,166 @@
+//! Golden-value equivalence of the batched interpolation engine: on
+//! seeded random adaptive grids (deterministic `ChaCha8Rng`), every
+//! `interpolate_batch` variant must
+//!
+//! * match the dense `gold` baseline to ≤ 1e-12, and
+//! * match its own single-point counterpart **bitwise** (the batch
+//!   restructuring reorders memory traffic, never arithmetic),
+//!
+//! across block sizes `npts ∈ {1, 7, 64}` (covering a degenerate block,
+//! an uneven chunk tail, and a full chunk) and a ragged `ndofs` that
+//! exercises the vector kernels' remainder paths.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use hddm_asg::{basis, ActiveCoord, NodeKey, SparseGrid};
+use hddm_kernels::{
+    batch, gold, x86, CompressedState, DenseState, KernelKind, PointBlock, Scratch,
+};
+
+const TOL: f64 = 1e-12;
+
+fn random_grid(dim: usize, nodes: usize, rng: &mut ChaCha8Rng) -> SparseGrid {
+    let mut grid = SparseGrid::new(dim);
+    grid.insert(NodeKey::root());
+    for _ in 0..nodes {
+        let actives = rng.gen_range(1..=3.min(dim));
+        let mut coords: Vec<ActiveCoord> = Vec::new();
+        for _ in 0..actives {
+            let d = rng.gen_range(0..dim) as u16;
+            if coords.iter().any(|c| c.dim == d) {
+                continue;
+            }
+            let level = rng.gen_range(2..=5u32) as u8;
+            let indices = basis::level_indices(level);
+            let index = indices[rng.gen_range(0..indices.len())];
+            coords.push(ActiveCoord {
+                dim: d,
+                level,
+                index,
+            });
+        }
+        grid.insert_closed(NodeKey::from_coords(coords));
+    }
+    grid
+}
+
+fn random_surplus(grid: &SparseGrid, ndofs: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    (0..grid.len() * ndofs)
+        .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+        .collect()
+}
+
+fn random_block(dim: usize, npts: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    (0..npts * dim).map(|_| rng.gen::<f64>()).collect()
+}
+
+type BatchFn = fn(&CompressedState, &PointBlock, &mut Scratch, &mut [f64]);
+type SingleFn = fn(&CompressedState, &[f64], &mut Scratch, &mut [f64]);
+
+/// Every batched variant next to the single-point kernel it must equal.
+const VARIANTS: [(&str, BatchFn, SingleFn); 4] = [
+    ("x86", batch::interpolate_batch, x86::interpolate),
+    (
+        "avx",
+        batch::interpolate_batch_avx,
+        hddm_kernels::vector::interpolate_avx,
+    ),
+    (
+        "avx2",
+        batch::interpolate_batch_avx2,
+        hddm_kernels::vector::interpolate_avx2,
+    ),
+    (
+        "avx512",
+        batch::interpolate_batch_avx512,
+        hddm_kernels::vector::interpolate_avx512,
+    ),
+];
+
+#[test]
+fn batched_kernels_match_gold_and_single_point() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBA7C4);
+    // ndofs 11 leaves a ragged tail in both 4- and 8-wide accumulators.
+    for (dim, nodes, ndofs) in [(2usize, 40usize, 1usize), (4, 120, 11), (6, 200, 5)] {
+        let grid = random_grid(dim, nodes, &mut rng);
+        let surplus = random_surplus(&grid, ndofs, &mut rng);
+        let dense = DenseState::new(&grid, surplus.clone(), ndofs);
+        let state = CompressedState::new(&grid, &surplus, ndofs);
+        let mut scratch = Scratch::default();
+        for npts in [1usize, 7, 64] {
+            let rows = random_block(dim, npts, &mut rng);
+            let block = PointBlock::from_rows(dim, &rows);
+            let mut want_gold = vec![0.0; ndofs];
+            let mut want_single = vec![0.0; ndofs];
+            for (name, batch_fn, single_fn) in VARIANTS {
+                let mut got = vec![0.0; npts * ndofs];
+                batch_fn(&state, &block, &mut scratch, &mut got);
+                for p in 0..npts {
+                    let x = &rows[p * dim..(p + 1) * dim];
+                    gold::interpolate(&dense, x, &mut want_gold);
+                    single_fn(&state, x, &mut scratch, &mut want_single);
+                    let row = &got[p * ndofs..(p + 1) * ndofs];
+                    for k in 0..ndofs {
+                        assert!(
+                            (row[k] - want_gold[k]).abs() < TOL,
+                            "{name} npts={npts} point {p} dof {k} vs gold: {} vs {}",
+                            row[k],
+                            want_gold[k]
+                        );
+                        assert_eq!(
+                            row[k].to_bits(),
+                            want_single[k].to_bits(),
+                            "{name} npts={npts} point {p} dof {k}: batch must be \
+                             bitwise equal to the single-point kernel"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_kind_batch_dispatch_matches_variants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD15A);
+    let grid = random_grid(3, 80, &mut rng);
+    let ndofs = 7;
+    let surplus = random_surplus(&grid, ndofs, &mut rng);
+    let state = CompressedState::new(&grid, &surplus, ndofs);
+    let rows = random_block(3, 9, &mut rng);
+    let block = PointBlock::from_rows(3, &rows);
+    let mut scratch = Scratch::default();
+    let mut want = vec![0.0; 9 * ndofs];
+    let mut got = vec![0.0; 9 * ndofs];
+    for kind in KernelKind::COMPRESSED {
+        kind.evaluate_compressed_batch(&state, &block, &mut scratch, &mut got);
+        let (_, batch_fn, _) = VARIANTS
+            .iter()
+            .find(|(name, _, _)| *name == kind.name())
+            .unwrap();
+        batch_fn(&state, &block, &mut scratch, &mut want);
+        assert_eq!(got, want, "{kind:?}");
+    }
+}
+
+#[test]
+fn threaded_batch_matches_across_uneven_splits() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x517E);
+    let grid = random_grid(4, 150, &mut rng);
+    let ndofs = 11;
+    let surplus = random_surplus(&grid, ndofs, &mut rng);
+    let state = CompressedState::new(&grid, &surplus, ndofs);
+    // 3 chunks + a tail: thread splits land on chunk boundaries.
+    let npts = hddm_kernels::BATCH_CHUNK * 3 + 17;
+    let rows = random_block(4, npts, &mut rng);
+    let block = PointBlock::from_rows(4, &rows);
+    let mut scratch = Scratch::default();
+    let mut want = vec![0.0; npts * ndofs];
+    batch::interpolate_batch_avx512(&state, &block, &mut scratch, &mut want);
+    for threads in [1usize, 2, 4, 7, 64] {
+        let mut got = vec![0.0; npts * ndofs];
+        batch::interpolate_batch_avx512_mt(&state, &block, threads, &mut got);
+        assert_eq!(got, want, "threads={threads}");
+    }
+}

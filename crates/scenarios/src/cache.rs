@@ -41,10 +41,9 @@ use serde::{Deserialize, Serialize};
 use hddm_asg::{hierarchize, regular_grid, BoxDomain};
 use hddm_compress::CompressedGrid;
 use hddm_core::{PolicySet, StateRecord};
-use hddm_kernels::{CompressedState, KernelKind};
-use hddm_olg::PolicyOracle;
+use hddm_kernels::{CompressedState, KernelKind, PointBlock, Scratch};
 
-use crate::hash::{fingerprint_distance, HashId};
+use crate::hash::{fingerprint_distances, HashId};
 use crate::persist::{EvictionPolicy, ManifestEntry, Store};
 
 /// Number of `RwLock` shards the in-memory map is split across. A small
@@ -630,39 +629,64 @@ impl SurfaceCache {
     }
 
     /// The nearest same-shape in-memory neighbour within the warm radius
-    /// (ties broken toward the earliest deposit — the deterministic scan
-    /// order), plus the set of all in-memory hashes (so the disk scan can
-    /// skip entries already considered here). Shards are scanned one read
-    /// lock at a time; a deposit racing the scan may be missed this
-    /// round, exactly as it could have missed the old cache-wide mutex.
+    /// (ties broken toward the earliest deposit — deterministic and
+    /// independent of shard/map iteration order), plus the set of all
+    /// in-memory hashes (so the disk scan can skip entries already
+    /// considered here). Shards are scanned one read lock at a time; a
+    /// deposit racing the scan may be missed this round, exactly as it
+    /// could have missed the old cache-wide mutex. Candidate fingerprints
+    /// are gathered component-major and scored in one blocked
+    /// [`fingerprint_distances`] pass **outside every lock** instead of
+    /// one scalar distance per entry under the shard guard.
     fn best_memory_candidate(
         &self,
         shape: ShapeKey,
         fingerprint: &[f64],
     ) -> (Option<(f64, Arc<CachedSurface>)>, HashSet<u64>) {
-        let mut best: Option<(f64, u64, Arc<CachedSurface>)> = None;
         let mut in_memory = HashSet::new();
+        let mut candidates: Vec<(u64, Arc<CachedSurface>)> = Vec::new();
         for i in 0..SHARD_COUNT {
             let shard = self.shard_read(i);
             for (&h, entry) in &shard.by_hash {
                 in_memory.insert(h);
-                if entry.surface.shape != shape {
+                if entry.surface.shape != shape
+                    || entry.surface.fingerprint.len() != fingerprint.len()
+                {
                     continue;
                 }
-                let d = fingerprint_distance(&entry.surface.fingerprint, fingerprint);
-                if d > self.inner.warm_radius {
-                    continue;
-                }
-                let better = match &best {
-                    None => true,
-                    Some((bd, bseq, _)) => d < *bd || (d == *bd && entry.seq < *bseq),
-                };
-                if better {
-                    best = Some((d, entry.seq, Arc::clone(&entry.surface)));
-                }
+                candidates.push((entry.seq, Arc::clone(&entry.surface)));
             }
         }
-        (best.map(|(d, _, s)| (d, s)), in_memory)
+        if candidates.is_empty() {
+            return (None, in_memory);
+        }
+        let ncand = candidates.len();
+        let mut soa = vec![0.0; fingerprint.len() * ncand];
+        for (c, (_, surface)) in candidates.iter().enumerate() {
+            for (k, &v) in surface.fingerprint.iter().enumerate() {
+                soa[k * ncand + c] = v;
+            }
+        }
+        let mut distances = vec![0.0; ncand];
+        fingerprint_distances(fingerprint, &soa, &mut distances);
+        let mut best: Option<(f64, u64, usize)> = None;
+        for (c, &d) in distances.iter().enumerate() {
+            if d > self.inner.warm_radius {
+                continue;
+            }
+            let seq = candidates[c].0;
+            let better = match best {
+                None => true,
+                Some((bd, bseq, _)) => d < bd || (d == bd && seq < bseq),
+            };
+            if better {
+                best = Some((d, seq, c));
+            }
+        }
+        (
+            best.map(|(d, _, c)| (d, Arc::clone(&candidates[c].1))),
+            in_memory,
+        )
     }
 
     /// The nearest same-shape cached neighbour of `fingerprint` within
@@ -848,10 +872,17 @@ impl std::fmt::Display for ProjectionError {
 impl std::error::Error for ProjectionError {}
 
 /// Projects a cached policy surface onto a new scenario's domain box:
-/// tabulates the cached interpolant (clamped into its own box, the
+/// evaluates the cached interpolant (clamped into its own box, the
 /// paper's domain truncation) on the target's start-level regular grid,
 /// hierarchizes, and compresses — producing the warm-start `p⁰` in
 /// exactly the representation the driver iterates on.
+///
+/// The whole target grid is mapped into the cached surface's unit cube
+/// once and evaluated per state as **one batched kernel call**
+/// ([`hddm_kernels::KernelKind::evaluate_compressed_batch`]) instead of
+/// one single-point interpolation per grid point, and the target grid is
+/// compressed once — the two hot costs of admitting a warm start on the
+/// serving path.
 pub fn project_policy(
     cached: &PolicySet,
     target_lo: &[f64],
@@ -873,18 +904,33 @@ pub fn project_policy(
     let ndofs = cached.states.state(0).ndofs;
     let target = BoxDomain::new(target_lo.to_vec(), target_hi.to_vec());
     let grid = regular_grid(dim, start_level);
-    let mut oracle = cached.oracle(kernel);
+
+    // Target grid → target physical box → clamped into the cached box →
+    // the cached surface's unit cube, gathered into one SoA block.
+    let mut rows = Vec::with_capacity(grid.len() * dim);
+    let mut unit = vec![0.0; dim];
     let mut phys = vec![0.0; dim];
+    let mut cached_unit = vec![0.0; dim];
+    for i in 0..grid.len() {
+        grid.unit_point_of(i, &mut unit);
+        target.from_unit(&unit, &mut phys);
+        cached.domain.clamp(&mut phys);
+        cached.domain.to_unit(&phys, &mut cached_unit);
+        rows.extend_from_slice(&cached_unit);
+    }
+    let block = PointBlock::from_rows(dim, &rows);
+
+    let cg = CompressedGrid::build(&grid); // shared by every state
+    let mut scratch = Scratch::default();
     let states = (0..cached.states.num_states())
         .map(|z| {
-            let mut values = hddm_asg::tabulate(&grid, ndofs, |unit, out| {
-                target.from_unit(unit, &mut phys);
-                oracle.eval(z, &phys, out);
-            });
+            let mut values = vec![0.0; grid.len() * ndofs];
+            cached
+                .states
+                .evaluate_one_batch(kernel, z, &block, &mut scratch, &mut values);
             hierarchize(&grid, &mut values, ndofs);
-            let cg = CompressedGrid::build(&grid);
             let reordered = cg.reorder_rows(&values, ndofs);
-            CompressedState::from_parts(cg, reordered, ndofs)
+            CompressedState::from_parts(cg.clone(), reordered, ndofs)
         })
         .collect();
     Ok(PolicySet::new(states, target))
@@ -894,6 +940,7 @@ pub fn project_policy(
 mod tests {
     use super::*;
     use hddm_asg::tabulate;
+    use hddm_olg::PolicyOracle;
 
     fn shape() -> ShapeKey {
         ShapeKey {

@@ -59,7 +59,9 @@ pub use cache::{
     SurfaceCache,
 };
 pub use executor::{run_batch, run_set, run_single, BatchHandle, ExecutorConfig, ExecutorError};
-pub use hash::{fingerprint, fingerprint_distance, scenario_hash, HashId, ScenarioHasher};
+pub use hash::{
+    fingerprint, fingerprint_distance, fingerprint_distances, scenario_hash, HashId, ScenarioHasher,
+};
 pub use persist::{EvictionPolicy, ManifestEntry, MANIFEST_FILE, PERSIST_VERSION};
 pub use report::{CacheKind, FleetSummary, ScenarioReport, SweepReport};
 pub use scenario::{Knob, Scenario, ScenarioSet, SolveSettings};
