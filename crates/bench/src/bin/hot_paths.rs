@@ -24,6 +24,24 @@ use hddm_compress::{compression_builds, CompressedGrid};
 use hddm_core::IncrementalHierarchizer;
 use hddm_kernels::{batch, CompressedState, KernelKind, PointBlock, Scratch, VectorIsa};
 
+/// The threaded-batch measurement of a row. `Skipped` (serialized as the
+/// string `"skipped"`) means the measurement did not run — single-thread
+/// host, or a block too small to split — and can never be mistaken for a
+/// measured 0 pts/s.
+enum MtThroughput {
+    Skipped,
+    Measured(f64),
+}
+
+impl Serialize for MtThroughput {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            MtThroughput::Skipped => serde::write_json_string("skipped", out),
+            MtThroughput::Measured(pps) => pps.serialize_json(out),
+        }
+    }
+}
+
 /// One interpolation measurement: the same `npts` points evaluated
 /// one-at-a-time and as one block.
 #[derive(Serialize)]
@@ -37,9 +55,9 @@ struct InterpolationRow {
     single_pps: f64,
     /// Points per second through `interpolate_batch`.
     batch_pps: f64,
-    /// Points per second through the threaded batch kernel (0 when the
-    /// block is too small to split).
-    batch_mt_pps: f64,
+    /// Points per second through the threaded batch kernel, or
+    /// `"skipped"` when the host or block cannot exercise it.
+    batch_mt_pps: MtThroughput,
     /// `batch_pps / single_pps`.
     speedup: f64,
 }
@@ -111,7 +129,11 @@ fn main() {
     } else {
         &[("7k", 3), ("300k", 4)]
     };
-    let block_sizes: &[usize] = if smoke { &[1, 7, 64] } else { &[1, 7, 64, 256] };
+    let block_sizes: &[usize] = if smoke {
+        &[1, 2, 3, 7, 64]
+    } else {
+        &[1, 2, 3, 7, 64, 256]
+    };
     for &(name, level) in cases {
         let grid = regular_grid(59, level);
         let surplus = synthetic_surpluses(&grid, NDOFS, 7);
@@ -160,11 +182,37 @@ fn main() {
                 );
                 failed = true;
             }
+            // The threaded kernel must clear the same floor wherever it
+            // was actually measured (threads > 1 and a splittable block)
+            // — a silent mt regression must not hide behind the
+            // single-threaded gate.
+            if let MtThroughput::Measured(mt_pps) = row.batch_mt_pps {
+                let mt_speedup = mt_pps / row.single_pps.max(1e-12);
+                if row.npts >= 64 && mt_speedup < floor {
+                    eprintln!(
+                        "FAIL: {} npts={} mt speedup {:.2}x below the {floor}x floor",
+                        row.case, row.npts, mt_speedup
+                    );
+                    failed = true;
+                }
+            }
+            // Below the dispatch crossover the batch entry point routes
+            // through the single-point kernel, so small blocks must
+            // never regress (0.95 leaves room for timer noise around a
+            // true ratio of 1.0).
+            if row.npts < batch::BATCH_CROSSOVER && row.speedup < 0.95 {
+                eprintln!(
+                    "FAIL: {} npts={} speedup {:.2}x — small blocks must not \
+                     regress through the batch entry point",
+                    row.case, row.npts, row.speedup
+                );
+                failed = true;
+            }
         }
         if failed {
             std::process::exit(1);
         }
-        println!("all npts >= 64 measurements clear the {floor}x floor");
+        println!("all gated measurements clear the {floor}x floor");
     }
 }
 
@@ -257,9 +305,9 @@ fn bench_interpolation(
         single_pps: total / single_seconds.max(1e-12),
         batch_pps: total / batch_seconds.max(1e-12),
         batch_mt_pps: if measure_mt {
-            total / mt_seconds.max(1e-12)
+            MtThroughput::Measured(total / mt_seconds.max(1e-12))
         } else {
-            0.0
+            MtThroughput::Skipped
         },
         speedup: single_seconds / batch_seconds.max(1e-12),
     }

@@ -1,0 +1,707 @@
+//! Open-loop serving load bench: replay a mixed hit/warm/cold request
+//! trace against the [`ScenarioService`] at a configured arrival rate
+//! and report tail latency per decision path, sustained throughput,
+//! queue telemetry, and the binary-vs-JSON record restore comparison —
+//! all written to a machine-readable `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p hddm-bench --bin serve-bench -- \
+//!     [--smoke] [--cache-dir DIR] [--rate 200] [--clients 4] \
+//!     [--out BENCH_serve.json] [--expect-exact-p99-ms 50] \
+//!     [--expect-record-speedup 1.0]
+//! ```
+//!
+//! **Methodology.** The bench is *open-loop*: request `i` of the trace
+//! is scheduled at `t_i = i / rate` from the replay start, regardless of
+//! whether earlier requests completed — arrival pressure does not adapt
+//! to service latency, so queueing delay shows up in the tail instead of
+//! silently throttling the offered load. Client threads submit
+//! non-blocking (`ScenarioService::submit`) at their scheduled instants
+//! and collect tickets; latency is the service-measured
+//! submission-to-fulfillment time (`ScenarioResponse::total_seconds`),
+//! immune to when the client happens to observe the ticket. Percentiles
+//! are bucketed by the *served* decision path (exact hit / warm-started
+//! solve / cold solve), not the intended trace class.
+//!
+//! With `--cache-dir` the warm phase persists the demo sweep to disk and
+//! the service is opened over a **fresh** cache handle, so exact hits
+//! exercise the record-restore path at least once per surface.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use hddm_scenarios::{
+    fingerprint, persist, run_set, scenario_hash, CacheKind, ExecutorConfig, Knob, Lookup,
+    Scenario, ScenarioSet, ShapeKey, SurfaceCache,
+};
+use hddm_serve::{ScenarioRequest, ScenarioService, ServeConfig, ServeError};
+
+struct Args {
+    smoke: bool,
+    cache_dir: Option<String>,
+    out: String,
+    lifespan: usize,
+    work_years: usize,
+    hits: usize,
+    warm: usize,
+    cold: usize,
+    rate: f64,
+    clients: usize,
+    workers: usize,
+    max_batch: usize,
+    linger_ms: u64,
+    queue_capacity: usize,
+    deadline_ms: Option<u64>,
+    expect_exact_p99_ms: Option<f64>,
+    expect_record_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        cache_dir: None,
+        out: "BENCH_serve.json".into(),
+        lifespan: 5,
+        work_years: 3,
+        hits: 0, // 0 → mode default, resolved below
+        warm: 0,
+        cold: 0,
+        rate: 0.0,
+        clients: 4,
+        workers: 2,
+        max_batch: 8,
+        linger_ms: 2,
+        queue_capacity: 256,
+        deadline_ms: None,
+        expect_exact_p99_ms: None,
+        expect_record_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        macro_rules! parse {
+            ($field:ident, $name:literal) => {
+                args.$field = value($name)?
+                    .parse()
+                    .map_err(|e| format!("{}: {e}", $name))?
+            };
+        }
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--out" => args.out = value("--out")?,
+            "--lifespan" => parse!(lifespan, "--lifespan"),
+            "--work-years" => parse!(work_years, "--work-years"),
+            "--hits" => parse!(hits, "--hits"),
+            "--warm" => parse!(warm, "--warm"),
+            "--cold" => parse!(cold, "--cold"),
+            "--rate" => parse!(rate, "--rate"),
+            "--clients" => parse!(clients, "--clients"),
+            "--workers" => parse!(workers, "--workers"),
+            "--max-batch" => parse!(max_batch, "--max-batch"),
+            "--linger-ms" => parse!(linger_ms, "--linger-ms"),
+            "--queue-capacity" => parse!(queue_capacity, "--queue-capacity"),
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--expect-exact-p99-ms" => {
+                args.expect_exact_p99_ms = Some(
+                    value("--expect-exact-p99-ms")?
+                        .parse()
+                        .map_err(|e| format!("--expect-exact-p99-ms: {e}"))?,
+                )
+            }
+            "--expect-record-speedup" => {
+                args.expect_record_speedup = Some(
+                    value("--expect-record-speedup")?
+                        .parse()
+                        .map_err(|e| format!("--expect-record-speedup: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    // Mode defaults (overridable per flag above).
+    if args.hits == 0 {
+        args.hits = if args.smoke { 32 } else { 128 };
+    }
+    if args.warm == 0 {
+        args.warm = if args.smoke { 4 } else { 8 };
+    }
+    if args.cold == 0 {
+        args.cold = if args.smoke { 2 } else { 4 };
+    }
+    if args.rate <= 0.0 {
+        args.rate = if args.smoke { 200.0 } else { 400.0 };
+    }
+    if args.clients == 0 {
+        return Err("--clients must be ≥ 1".into());
+    }
+    Ok(args)
+}
+
+/// The intended class of a trace entry (hits are verified post-hoc
+/// against the served kind).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceClass {
+    Hit,
+    WarmMiss,
+    ColdMiss,
+}
+
+/// Builds the labeled trace off the demo sweep, interleaved so misses
+/// are spread through the hit stream (a burst of solves at the end would
+/// understate queueing pressure on the hits).
+fn build_trace(
+    args: &Args,
+    demo: &ScenarioSet,
+) -> Result<Vec<(TraceClass, ScenarioRequest)>, String> {
+    let mut hits = Vec::new();
+    for i in 0..args.hits {
+        let scenario = demo.scenarios[i % demo.len()].clone();
+        hits.push((TraceClass::Hit, request(args, scenario)));
+    }
+    let mut misses = Vec::new();
+    for i in 0..args.warm {
+        let mut scenario = demo.scenarios[i % demo.len()].clone();
+        // Within the warm radius of its source, but a distinct hash.
+        let beta = scenario.calibration.beta + 0.0004 * (1 + i / demo.len()) as f64;
+        Knob::Beta.apply(&mut scenario, beta)?;
+        scenario.name = format!("{}/warm{i}", scenario.name);
+        misses.push((TraceClass::WarmMiss, request(args, scenario)));
+    }
+    for i in 0..args.cold {
+        let mut scenario = demo.scenarios[i % demo.len()].clone();
+        // A box reform far outside the warm radius (steady state is
+        // unaffected, so the solve stays well-posed).
+        Knob::CapitalSpan.apply(&mut scenario, 0.45 + 0.02 * (i / demo.len()) as f64)?;
+        scenario.name = format!("{}/cold{i}", scenario.name);
+        misses.push((TraceClass::ColdMiss, request(args, scenario)));
+    }
+    // Deterministic interleave: one miss after every `stride` hits.
+    let mut trace = Vec::with_capacity(hits.len() + misses.len());
+    let stride = (hits.len() / misses.len().max(1)).max(1);
+    let mut misses = misses.into_iter();
+    for (i, hit) in hits.into_iter().enumerate() {
+        trace.push(hit);
+        if (i + 1) % stride == 0 {
+            if let Some(miss) = misses.next() {
+                trace.push(miss);
+            }
+        }
+    }
+    trace.extend(misses);
+    Ok(trace)
+}
+
+fn request(args: &Args, scenario: Scenario) -> ScenarioRequest {
+    let request = ScenarioRequest::new(scenario);
+    match args.deadline_ms {
+        Some(ms) => request.with_deadline(Duration::from_millis(ms)),
+        None => request,
+    }
+}
+
+/// One decision path's latency summary. Latencies in milliseconds;
+/// percentiles over the served requests of that path (nearest-rank,
+/// `ceil(q·n)`-th order statistic).
+#[derive(Serialize)]
+struct LatencyRow {
+    path: &'static str,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    mean_ms: f64,
+    max_ms: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn latency_row(path: &'static str, latencies: &mut [f64]) -> LatencyRow {
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let n = latencies.len();
+    let to_ms = 1e3;
+    LatencyRow {
+        path,
+        requests: n,
+        p50_ms: percentile(latencies, 0.50) * to_ms,
+        p99_ms: percentile(latencies, 0.99) * to_ms,
+        p999_ms: percentile(latencies, 0.999) * to_ms,
+        mean_ms: if n == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / n as f64 * to_ms
+        },
+        max_ms: latencies.last().copied().unwrap_or(0.0) * to_ms,
+    }
+}
+
+#[derive(Serialize)]
+struct ConfigOut {
+    rate_rps: f64,
+    clients: usize,
+    workers: usize,
+    max_batch: usize,
+    linger_ms: u64,
+    queue_capacity: usize,
+    deadline_ms: MaybeU64,
+    hits: usize,
+    warm: usize,
+    cold: usize,
+    persistent_cache: bool,
+}
+
+/// `Option<u64>` serialized as the number or `null`.
+struct MaybeU64(Option<u64>);
+
+impl Serialize for MaybeU64 {
+    fn serialize_json(&self, out: &mut String) {
+        match self.0 {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct WarmPhase {
+    scenarios: usize,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct Throughput {
+    offered_rps: f64,
+    sustained_rps: f64,
+    replay_seconds: f64,
+    served: usize,
+    errors: usize,
+}
+
+#[derive(Serialize)]
+struct ServiceOut {
+    submitted: u64,
+    exact_hits: u64,
+    enqueued_groups: u64,
+    coalesced_waiters: u64,
+    rejected_queue_full: u64,
+    shed_waiters: u64,
+    shed_groups: u64,
+    dispatched_batches: u64,
+    dispatched_groups: u64,
+    queue_depth_peak: u64,
+}
+
+/// Binary vs legacy-JSON record format, measured on the warm phase's
+/// persisted surfaces: payload size and decode (restore) time.
+#[derive(Serialize)]
+struct RecordFormat {
+    records: usize,
+    json_bytes: usize,
+    binary_bytes: usize,
+    /// `binary_bytes / json_bytes` — below 1.0 means the binary format
+    /// is smaller on disk.
+    bytes_ratio: f64,
+    json_decode_seconds: f64,
+    binary_decode_seconds: f64,
+    /// `json_decode / binary_decode` — above 1.0 means binary records
+    /// restore faster.
+    decode_speedup: f64,
+    /// Whether every surface decoded from both formats evaluated
+    /// bitwise-identically (surplus payloads compared bit-for-bit).
+    roundtrip_bitwise: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    mode: &'static str,
+    host_threads: usize,
+    config: ConfigOut,
+    warm_phase: WarmPhase,
+    latency: Vec<LatencyRow>,
+    throughput: Throughput,
+    service: ServiceOut,
+    record_format: RecordFormat,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("serve-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let demo = ScenarioSet::demo(args.lifespan, args.work_years)?;
+    let trace = build_trace(&args, &demo)?;
+
+    // ---- Warm phase: solve the demo sweep into the cache the service
+    // will serve hits from. With --cache-dir the surfaces are persisted
+    // and the service gets a FRESH handle over the directory, so hits
+    // pay (and measure) the record-restore path.
+    let warm_cache = match &args.cache_dir {
+        Some(dir) => SurfaceCache::open(dir).map_err(|e| format!("--cache-dir: {e}"))?,
+        None => SurfaceCache::default(),
+    };
+    let warm_start = Instant::now();
+    let warm_report = run_set(&demo, &warm_cache, &ExecutorConfig::serial())
+        .map_err(|e| format!("warm phase failed: {e}"))?;
+    if !warm_report.all_converged() {
+        return Err("warm phase produced non-converged surfaces".into());
+    }
+    let warm_phase = WarmPhase {
+        scenarios: demo.len(),
+        seconds: warm_start.elapsed().as_secs_f64(),
+    };
+
+    // ---- Record-format comparison on the freshly solved surfaces.
+    let record_format = bench_record_format(&warm_cache, &demo, args.smoke)?;
+
+    let serve_cache = match &args.cache_dir {
+        Some(dir) => SurfaceCache::open(dir).map_err(|e| format!("--cache-dir: {e}"))?,
+        None => warm_cache.clone(),
+    };
+
+    let service = Arc::new(ScenarioService::new(
+        serve_cache,
+        ServeConfig {
+            executor: ExecutorConfig {
+                threads: 1,      // solves are batched; concurrency comes from the dispatchers
+                cache_dir: None, // the service already holds the cache handle
+                ..ExecutorConfig::serial()
+            },
+            max_batch: args.max_batch,
+            queue_capacity: args.queue_capacity,
+            linger: Duration::from_millis(args.linger_ms),
+            workers: args.workers,
+        },
+    ));
+
+    println!(
+        "serve-bench: mode={} trace={} ({} hit / {} warm / {} cold) rate={:.0} req/s \
+         clients={} workers={} max_batch={} linger={}ms cache={}",
+        if args.smoke { "smoke" } else { "full" },
+        trace.len(),
+        args.hits,
+        args.warm,
+        args.cold,
+        args.rate,
+        args.clients,
+        args.workers,
+        args.max_batch,
+        args.linger_ms,
+        match &args.cache_dir {
+            Some(dir) => dir.as_str(),
+            None => "in-memory",
+        }
+    );
+
+    // ---- Open-loop replay: request i is due at start + i/rate,
+    // round-robined across client threads.
+    let interval = Duration::from_secs_f64(1.0 / args.rate);
+    let replay_start = Instant::now() + Duration::from_millis(10); // let clients spawn
+    let outcomes: Vec<(TraceClass, Result<hddm_serve::ScenarioResponse, ServeError>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|client| {
+                    let service = Arc::clone(&service);
+                    let slice: Vec<_> = trace
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % args.clients == client)
+                        .map(|(i, (class, request))| (i, *class, request.clone()))
+                        .collect();
+                    scope.spawn(move || {
+                        // Submit at the scheduled instants, collect
+                        // tickets, then wait — submission never blocks
+                        // on a solve, so arrivals stay on schedule.
+                        let mut pending = Vec::with_capacity(slice.len());
+                        for (i, class, request) in slice {
+                            let due = replay_start + interval * i as u32;
+                            let now = Instant::now();
+                            if due > now {
+                                std::thread::sleep(due - now);
+                            }
+                            pending.push((class, service.submit(request)));
+                        }
+                        pending
+                            .into_iter()
+                            .map(|(class, submitted)| match submitted {
+                                Ok(ticket) => (class, ticket.wait()),
+                                Err(e) => (class, Err(e)),
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+    let replay_seconds = (Instant::now() - replay_start).as_secs_f64();
+
+    // ---- Classify by the decision path actually served.
+    let mut exact = Vec::new();
+    let mut warm = Vec::new();
+    let mut cold = Vec::new();
+    let mut errors = 0usize;
+    let mut hit_misses = 0usize;
+    for (class, outcome) in outcomes {
+        match outcome {
+            Ok(response) => {
+                if response.report.steps > 0 && !response.report.converged {
+                    return Err(format!("non-converged solve: {:?}", response.report.name));
+                }
+                if class == TraceClass::Hit && response.kind() != CacheKind::Exact {
+                    hit_misses += 1;
+                }
+                match response.kind() {
+                    CacheKind::Exact => exact.push(response.total_seconds),
+                    CacheKind::Warm => warm.push(response.total_seconds),
+                    CacheKind::Cold => cold.push(response.total_seconds),
+                }
+            }
+            Err(e) => {
+                eprintln!("serve-bench: request error: {e}");
+                errors += 1;
+            }
+        }
+    }
+    let served = exact.len() + warm.len() + cold.len();
+    let stats = service.stats();
+
+    let latency = vec![
+        latency_row("exact-hit", &mut exact),
+        latency_row("warm-miss", &mut warm),
+        latency_row("cold-miss", &mut cold),
+    ];
+    for row in &latency {
+        println!(
+            "  {:<10} {:>4} served: p50 {:>9.3} ms  p99 {:>9.3} ms  p99.9 {:>9.3} ms  \
+             max {:>9.3} ms",
+            row.path, row.requests, row.p50_ms, row.p99_ms, row.p999_ms, row.max_ms
+        );
+    }
+    println!(
+        "  throughput: offered {:.0} req/s, sustained {:.1} req/s over {:.2}s \
+         ({} served, {} errors)",
+        args.rate,
+        served as f64 / replay_seconds.max(1e-12),
+        replay_seconds,
+        served,
+        errors
+    );
+    println!(
+        "  queue: peak depth {}, {} coalesced, {} shed waiter(s), {} shed group(s), \
+         {} rejected",
+        stats.queue_depth_peak,
+        stats.coalesced_waiters,
+        stats.shed_waiters,
+        stats.shed_groups,
+        stats.rejected_queue_full
+    );
+    println!(
+        "  records: binary {} B vs JSON {} B ({:.2}x smaller), decode {:.1}x faster, \
+         bitwise={}",
+        record_format.binary_bytes,
+        record_format.json_bytes,
+        1.0 / record_format.bytes_ratio.max(1e-12),
+        record_format.decode_speedup,
+        record_format.roundtrip_bitwise
+    );
+
+    let report = Report {
+        mode: if args.smoke { "smoke" } else { "full" },
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        config: ConfigOut {
+            rate_rps: args.rate,
+            clients: args.clients,
+            workers: args.workers,
+            max_batch: args.max_batch,
+            linger_ms: args.linger_ms,
+            queue_capacity: args.queue_capacity,
+            deadline_ms: MaybeU64(args.deadline_ms),
+            hits: args.hits,
+            warm: args.warm,
+            cold: args.cold,
+            persistent_cache: args.cache_dir.is_some(),
+        },
+        warm_phase,
+        latency,
+        throughput: Throughput {
+            offered_rps: args.rate,
+            sustained_rps: served as f64 / replay_seconds.max(1e-12),
+            replay_seconds,
+            served,
+            errors,
+        },
+        service: ServiceOut {
+            submitted: stats.submitted,
+            exact_hits: stats.exact_hits,
+            enqueued_groups: stats.enqueued_groups,
+            coalesced_waiters: stats.coalesced_waiters,
+            rejected_queue_full: stats.rejected_queue_full,
+            shed_waiters: stats.shed_waiters,
+            shed_groups: stats.shed_groups,
+            dispatched_batches: stats.dispatched_batches,
+            dispatched_groups: stats.dispatched_groups,
+            queue_depth_peak: stats.queue_depth_peak,
+        },
+        record_format,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("wrote {}", args.out);
+
+    // ---- Gates.
+    let mut failed = false;
+    // Errors are always fatal unless they are deadline sheds the caller
+    // asked for with --deadline-ms.
+    if errors > 0 && args.deadline_ms.is_none() {
+        eprintln!("FAIL: {errors} request error(s)");
+        failed = true;
+    }
+    if hit_misses > 0 {
+        eprintln!(
+            "FAIL: {hit_misses} hit-class request(s) were not served as exact hits \
+             (was the warm phase over the same cache?)"
+        );
+        failed = true;
+    }
+    if let Some(floor_ms) = args.expect_exact_p99_ms {
+        let row = &report.latency[0];
+        if row.requests == 0 {
+            eprintln!("FAIL: --expect-exact-p99-ms set but no exact hits were served");
+            failed = true;
+        } else if row.p99_ms > floor_ms {
+            eprintln!(
+                "FAIL: exact-hit p99 {:.3} ms above the {floor_ms} ms ceiling",
+                row.p99_ms
+            );
+            failed = true;
+        }
+    }
+    if !report.record_format.roundtrip_bitwise {
+        eprintln!("FAIL: binary/JSON record round trip is not bitwise identical");
+        failed = true;
+    }
+    if let Some(floor) = args.expect_record_speedup {
+        if report.record_format.decode_speedup < floor {
+            eprintln!(
+                "FAIL: binary record decode speedup {:.2}x below the {floor}x floor",
+                report.record_format.decode_speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("serve-bench: all gates passed");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Encodes every demo surface in both record formats and times decode
+/// (the latency-critical restore direction), verifying bitwise equality
+/// of the decoded surplus payloads.
+fn bench_record_format(
+    cache: &SurfaceCache,
+    demo: &ScenarioSet,
+    smoke: bool,
+) -> Result<RecordFormat, String> {
+    let mut surfaces = Vec::new();
+    for scenario in &demo.scenarios {
+        let hash = scenario_hash(scenario);
+        match cache.lookup(hash, ShapeKey::of(scenario), &fingerprint(scenario), false) {
+            Lookup::Exact(surface) => surfaces.push(surface),
+            _ => return Err(format!("warm phase did not cache {:?}", scenario.name)),
+        }
+    }
+    let encoded: Vec<Vec<u8>> = surfaces.iter().map(|s| persist::encode_record(s)).collect();
+    let jsons: Vec<String> = surfaces
+        .iter()
+        .map(|s| persist::legacy_record_json(s))
+        .collect();
+    let binary_bytes: usize = encoded.iter().map(Vec::len).sum();
+    let json_bytes: usize = jsons.iter().map(String::len).sum();
+
+    // Bitwise check once, outside the timed loops.
+    let mut roundtrip_bitwise = true;
+    for (surface, (bin, json)) in surfaces.iter().zip(encoded.iter().zip(&jsons)) {
+        let from_bin = persist::decode_record(bin).map_err(|e| format!("binary decode: {e}"))?;
+        let from_json =
+            persist::decode_legacy_record_json(json).map_err(|e| format!("json decode: {e}"))?;
+        for decoded in [&from_bin, &from_json] {
+            let same = decoded.records.len() == surface.records.len()
+                && decoded.records.iter().zip(&surface.records).all(|(a, b)| {
+                    a.surplus.len() == b.surplus.len()
+                        && a.surplus
+                            .iter()
+                            .zip(&b.surplus)
+                            .all(|(x, y)| x.to_bits() == y.to_bits())
+                });
+            roundtrip_bitwise &= same;
+        }
+    }
+
+    // Best-of-rounds decode timing, both formats interleaved so clock
+    // noise hits them alike.
+    let reps = if smoke { 8 } else { 40 };
+    let rounds = if smoke { 3 } else { 5 };
+    let mut json_seconds = f64::INFINITY;
+    let mut binary_seconds = f64::INFINITY;
+    for round in 0..rounds + 1 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            for bin in &encoded {
+                persist::decode_record(bin).map_err(|e| format!("binary decode: {e}"))?;
+            }
+        }
+        let bin_elapsed = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for _ in 0..reps {
+            for json in &jsons {
+                persist::decode_legacy_record_json(json)
+                    .map_err(|e| format!("json decode: {e}"))?;
+            }
+        }
+        let json_elapsed = start.elapsed().as_secs_f64();
+        if round == 0 {
+            continue; // warm-up
+        }
+        binary_seconds = binary_seconds.min(bin_elapsed);
+        json_seconds = json_seconds.min(json_elapsed);
+    }
+
+    Ok(RecordFormat {
+        records: surfaces.len(),
+        json_bytes,
+        binary_bytes,
+        bytes_ratio: binary_bytes as f64 / json_bytes.max(1) as f64,
+        json_decode_seconds: json_seconds,
+        binary_decode_seconds: binary_seconds,
+        decode_speedup: json_seconds / binary_seconds.max(1e-12),
+        roundtrip_bitwise,
+    })
+}

@@ -41,6 +41,18 @@ use hddm_asg::linear_basis;
 /// walk and surplus-row load across 64 points.
 pub const BATCH_CHUNK: usize = 64;
 
+/// Blocks narrower than this are routed through the single-point kernel
+/// by [`KernelKind::evaluate_compressed_batch`](crate::KernelKind):
+/// the batch machinery's per-block setup (xpv block fill, mask
+/// bookkeeping, masked accumulation) only amortizes once a few points
+/// share each chain walk: the hot-paths bench measured the batch path
+/// *slower* than single-point at npts=1 (0.77×–0.90×) but already
+/// faster at npts=2 (≥ 1.2×), so exactly the one-point block is routed.
+/// Both paths are bitwise identical per point, so the routing is
+/// invisible to results. Direct calls to the `interpolate_batch*`
+/// functions bypass the crossover.
+pub const BATCH_CROSSOVER: usize = 2;
+
 // The alive-lane mask of a chunk is a single u64 (bit k ⇔ point k's chain
 // product is non-zero); the chunk width must not outgrow it.
 const _: () = assert!(BATCH_CHUNK <= 64);

@@ -26,7 +26,7 @@ pub mod multi;
 pub mod vector;
 pub mod x86;
 
-pub use batch::{PointBlock, BATCH_CHUNK};
+pub use batch::{PointBlock, BATCH_CHUNK, BATCH_CROSSOVER};
 pub use data::{CompressedState, DenseState, Scratch};
 pub use hashtab::HashState;
 pub use multi::MultiState;
@@ -110,6 +110,19 @@ impl KernelKind {
         scratch: &mut Scratch,
         out: &mut [f64],
     ) {
+        // Crossover routing: narrow blocks pay the batch machinery's
+        // per-block setup without amortizing it across points, so they
+        // run point-by-point through the single-point kernel — bitwise
+        // identical, just without the setup overhead.
+        if !block.is_empty() && block.len() < batch::BATCH_CROSSOVER {
+            let mut row = vec![0.0; block.dim()];
+            let ndofs = state.ndofs;
+            for p in 0..block.len() {
+                block.point(p, &mut row);
+                self.evaluate_compressed(state, &row, scratch, &mut out[p * ndofs..][..ndofs]);
+            }
+            return;
+        }
         match self {
             KernelKind::Gold => panic!("gold kernel requires DenseState"),
             KernelKind::X86 => batch::interpolate_batch(state, block, scratch, out),

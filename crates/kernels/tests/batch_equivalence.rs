@@ -144,6 +144,56 @@ fn kernel_kind_batch_dispatch_matches_variants() {
     }
 }
 
+/// Blocks below [`batch::BATCH_CROSSOVER`] dispatch through the
+/// single-point kernel; blocks at or above it through the batch
+/// variants. Either way the dispatch entry point must stay bitwise
+/// equal to both underlying paths, so the crossover can never be
+/// observed in results — only in throughput.
+#[test]
+fn dispatch_below_the_crossover_is_bitwise_equal_to_both_paths() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC705);
+    let grid = random_grid(3, 90, &mut rng);
+    let ndofs = 5;
+    let surplus = random_surplus(&grid, ndofs, &mut rng);
+    let state = CompressedState::new(&grid, &surplus, ndofs);
+    let mut scratch = Scratch::default();
+    for npts in [1usize, batch::BATCH_CROSSOVER, batch::BATCH_CROSSOVER + 1] {
+        let rows = random_block(3, npts, &mut rng);
+        let block = PointBlock::from_rows(3, &rows);
+        for kind in KernelKind::COMPRESSED {
+            let mut got = vec![0.0; npts * ndofs];
+            kind.evaluate_compressed_batch(&state, &block, &mut scratch, &mut got);
+            let (_, batch_fn, single_fn) = VARIANTS
+                .iter()
+                .find(|(name, _, _)| *name == kind.name())
+                .unwrap();
+            let mut want_batch = vec![0.0; npts * ndofs];
+            batch_fn(&state, &block, &mut scratch, &mut want_batch);
+            let mut want_single = vec![0.0; ndofs];
+            for p in 0..npts {
+                single_fn(
+                    &state,
+                    &rows[p * 3..(p + 1) * 3],
+                    &mut scratch,
+                    &mut want_single,
+                );
+                for k in 0..ndofs {
+                    assert_eq!(
+                        got[p * ndofs + k].to_bits(),
+                        want_single[k].to_bits(),
+                        "{kind:?} npts={npts} point {p} dof {k} vs single"
+                    );
+                    assert_eq!(
+                        got[p * ndofs + k].to_bits(),
+                        want_batch[p * ndofs + k].to_bits(),
+                        "{kind:?} npts={npts} point {p} dof {k} vs raw batch"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn threaded_batch_matches_across_uneven_splits() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x517E);

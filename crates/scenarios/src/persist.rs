@@ -7,7 +7,8 @@
 //! ```text
 //! <cache-dir>/
 //!   manifest.json            # version + entry index (insertion order)
-//!   surface-<16-hex>.json    # one record per surface, keyed by hash
+//!   surface-<16-hex>.bin     # one binary record per surface, keyed by hash
+//!   surface-<16-hex>.json    # legacy JSON records (read-back only)
 //! ```
 //!
 //! The manifest is the index: one [`ManifestEntry`] per surface with the
@@ -15,11 +16,25 @@
 //! everything lookups and cost estimation need *without* touching the
 //! record files. Surfaces themselves are loaded lazily on first hit.
 //!
+//! Record format: new deposits are written in a versioned binary
+//! columnar layout (`.bin`, see [`encode_record`]) — a checksummed
+//! 40-byte header followed by length-prefixed sections in which every
+//! field is one contiguous little-endian array, 8-byte aligned, so the
+//! `f64` payloads (fingerprint, domain box, surpluses) land in the same
+//! structure-of-arrays shape the kernels' `PointBlock` consumes and the
+//! restore is a bounds-checked copy instead of a float parse. Records
+//! from before the binary format (`.json`) read back transparently: the
+//! manifest names each record file, and the reader dispatches on the
+//! extension.
+//!
 //! Durability rules:
 //!
-//! * every file (manifest and records) is written atomically — serialized
-//!   to a dot-prefixed temp file in the same directory, then renamed — so
-//!   a crashed sweep never leaves a torn index or a half-written surface;
+//! * every file (manifest and records) is written atomically *and
+//!   durably* — serialized to a dot-prefixed temp file in the same
+//!   directory, fsynced, renamed, and the directory fsynced after — so
+//!   a crash at any point leaves either the previous version or the
+//!   complete new one, never a torn or empty file that a rename alone
+//!   (buffered in the page cache) could still surface;
 //! * an unknown manifest format version is skipped with a warning (the
 //!   store starts empty), never a panic;
 //! * a corrupt or truncated record file is skipped with a warning at load
@@ -50,10 +65,17 @@ use serde::{Deserialize, Serialize};
 use hddm_core::StateRecord;
 
 use crate::cache::{CachedSurface, ShapeKey};
-use crate::hash::{fingerprint_distance, HashId};
+use crate::hash::{fingerprint_distance, HashId, ScenarioHasher};
 
-/// Current on-disk format version of the manifest and record files.
+/// Current on-disk format version of the manifest and legacy JSON
+/// record files.
 pub const PERSIST_VERSION: u32 = 1;
+
+/// Current version of the binary columnar record format.
+pub const BINARY_RECORD_VERSION: u32 = 1;
+
+/// Magic bytes opening every binary record file.
+pub const RECORD_MAGIC: [u8; 8] = *b"HDDMSURF";
 
 /// The index file name inside a cache directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -118,28 +140,53 @@ fn warn(message: &str) {
     eprintln!("hddm-scenarios: warning: {message}");
 }
 
-/// Record file name for a hash.
+/// Record file name for a hash (the binary format new deposits write).
 pub fn surface_file_name(hash: u64) -> String {
+    format!("surface-{}.bin", HashId(hash))
+}
+
+/// Record file name of the legacy JSON format (read-back only; kept
+/// public for migration tooling and the legacy-compatibility tests).
+pub fn legacy_surface_file_name(hash: u64) -> String {
     format!("surface-{}.json", HashId(hash))
 }
 
-/// Writes `text` to `path` atomically: temp file in the same directory,
-/// then rename. The dot-prefixed temp name can never be mistaken for a
-/// record file, and a crash between the two steps leaves the previous
-/// version of `path` intact. The temp name carries a process-wide counter
-/// on top of the pid: record files are now written outside the store's
-/// locks, so two threads depositing the same surface concurrently must
-/// not collide on the temp path.
-fn write_atomic(dir: &Path, name: &str, text: &str) -> Result<(), String> {
+/// Writes `bytes` to `path` atomically **and durably**: temp file in the
+/// same directory, fsync, rename, fsync the directory. The dot-prefixed
+/// temp name can never be mistaken for a record file, and a crash
+/// between any two steps leaves the previous version of `path` intact.
+/// Without the temp-file fsync, a crash shortly *after* the rename could
+/// surface the new name over still-unwritten data (an empty or truncated
+/// record despite the atomic contract); without the directory fsync, the
+/// rename itself may not survive the crash. The temp name carries a
+/// process-wide counter on top of the pid: record files are written
+/// outside the store's locks, so two threads depositing the same surface
+/// concurrently must not collide on the temp path.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), String> {
     static TMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
     let unique = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
     let tmp = dir.join(format!(".tmp-{}-{unique}-{name}", std::process::id()));
     let target = dir.join(name);
-    fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    let write_synced = || -> std::io::Result<()> {
+        use std::io::Write;
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    };
+    write_synced().map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        format!("write {}: {e}", tmp.display())
+    })?;
     fs::rename(&tmp, &target).map_err(|e| {
         let _ = fs::remove_file(&tmp);
         format!("rename {} -> {}: {e}", tmp.display(), target.display())
     })?;
+    // Make the rename durable: fsync the directory so the new directory
+    // entry reaches disk. Best effort — not every platform lets a
+    // directory be opened and synced (the data itself is already safe).
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
     Ok(())
 }
 
@@ -229,7 +276,7 @@ impl Store {
                 if name.starts_with(".tmp-") {
                     let _ = fs::remove_file(entry.path());
                 } else if name.starts_with("surface-")
-                    && name.ends_with(".json")
+                    && (name.ends_with(".json") || name.ends_with(".bin"))
                     && !entries.iter().any(|e| e.file == name)
                 {
                     warn(&format!("removing unindexed cache record {name}"));
@@ -348,11 +395,34 @@ impl Store {
     }
 
     /// Reads and validates the record file for an index snapshot taken
-    /// earlier. **Holds no lock** — this is the disk restore the serving
-    /// front-end runs concurrently across threads. On failure the caller
-    /// must [`Store::discard`] the entry.
+    /// earlier, dispatching on the file extension the index names
+    /// (binary for new deposits, JSON for legacy records). **Holds no
+    /// lock** — this is the disk restore the serving front-end runs
+    /// concurrently across threads. On failure the caller must
+    /// [`Store::discard`] the entry.
     pub fn read_record(&self, entry: &ManifestEntry) -> Result<CachedSurface, String> {
-        read_surface(&self.dir.join(&entry.file), entry)
+        let path = self.dir.join(&entry.file);
+        let surface = if entry.file.ends_with(".json") {
+            let text = fs::read_to_string(&path).map_err(|e| format!("read: {e}"))?;
+            decode_legacy_record_json(&text)?
+        } else {
+            let bytes = fs::read(&path).map_err(|e| format!("read: {e}"))?;
+            decode_record(&bytes)?
+        };
+        if surface.hash != entry.hash.0 {
+            return Err(format!(
+                "record hash {} does not match index hash {}",
+                HashId(surface.hash),
+                entry.hash
+            ));
+        }
+        if surface.shape != entry.shape {
+            return Err("record shape does not match index shape".into());
+        }
+        if surface.fingerprint != entry.fingerprint {
+            return Err("record fingerprint does not match index fingerprint".into());
+        }
+        Ok(surface)
     }
 
     /// Drops `hash` from the index (corrupt record file), deletes the
@@ -382,13 +452,13 @@ impl Store {
     /// in-memory cache can drop them too.
     pub fn insert(&self, surface: &CachedSurface) -> Result<Vec<u64>, String> {
         let name = surface_file_name(surface.hash);
-        let json = surface_json(surface);
-        let bytes = json.len() as u64;
+        let encoded = encode_record(surface);
+        let bytes = encoded.len() as u64;
         // Record-file I/O outside every lock: the atomic temp+rename
         // means concurrent writers of the same hash race to an
         // interchangeable result (identical scenario ⇒ identical surface
         // up to cost telemetry), and readers never see a torn file.
-        write_atomic(&self.dir, &name, &json)?;
+        write_atomic(&self.dir, &name, &encoded)?;
 
         let entry = ManifestEntry {
             hash: HashId(surface.hash),
@@ -402,13 +472,21 @@ impl Store {
 
         let _writer = self.writer_lock();
         let mut evicted = Vec::new();
+        let mut replaced_file: Option<String> = None;
         {
             let mut index = self.index_write();
             // Re-deposits of the same scenario replace in place (last
             // writer wins, like the in-memory map) and keep their
-            // eviction slot.
+            // eviction slot. A replaced legacy record keeps a different
+            // file name (`.json`) — remove it below so the old copy
+            // cannot linger outside the index.
             match index.iter_mut().find(|e| e.hash == entry.hash) {
-                Some(slot) => *slot = entry,
+                Some(slot) => {
+                    if slot.file != entry.file {
+                        replaced_file = Some(std::mem::take(&mut slot.file));
+                    }
+                    *slot = entry;
+                }
                 None => index.push(entry),
             }
 
@@ -439,6 +517,9 @@ impl Store {
             ));
             evicted.remove(pos);
         }
+        if let Some(old) = replaced_file {
+            let _ = fs::remove_file(self.dir.join(&old));
+        }
 
         self.write_manifest()?;
         Ok(evicted)
@@ -454,13 +535,285 @@ impl Store {
         serde::write_key("entries", &mut out);
         self.index_read().serialize_json(&mut out);
         out.push('}');
-        write_atomic(&self.dir, MANIFEST_FILE, &out)
+        write_atomic(&self.dir, MANIFEST_FILE, out.as_bytes())
     }
 }
 
-/// Serializes a surface to its on-disk JSON record (borrowed fields — no
-/// clone of the record rows).
-fn surface_json(surface: &CachedSurface) -> String {
+// ---------------------------------------------------------------------------
+// Binary columnar record format
+// ---------------------------------------------------------------------------
+//
+// ```text
+// header (40 bytes):
+//   0..8    magic "HDDMSURF"
+//   8..12   u32  format version (BINARY_RECORD_VERSION)
+//   12..16  u32  reserved (zero; keeps the header 8-byte aligned)
+//   16..24  u64  payload length in bytes
+//   24..32  u64  FNV-1a-64 checksum of the payload
+//   32..40  u64  FNV-1a-64 checksum of header bytes 0..32
+// payload (all integers/floats little-endian, sections in order):
+//   u64 hash · u64 dim · u64 ndofs · u64 num_states · u64 steps
+//   f64 final_sup_change · f64 cost_seconds
+//   u64 len + f64[len]  fingerprint
+//   u64 len + f64[len]  domain_lo
+//   u64 len + f64[len]  domain_hi
+//   num_states × state record:
+//     u64 len + (u32 index, u16 l, u16 i)[len]   xps      (8 B/entry)
+//     u64 len + u32[len] (+ zero pad to 8 B)     chains
+//     u64 len + u32[len] (+ zero pad to 8 B)     order
+//     u64 nfreq
+//     u64 len + f64[len]                         surplus
+// ```
+//
+// Every section is one contiguous array of its field (columnar /
+// structure-of-arrays, the layout `PointBlock` and the batch kernels
+// consume) and every f64 section starts 8-byte aligned, so a restore is
+// a bounds-checked memcpy per section — no float parsing. `f64` goes
+// through `to_le_bytes`/`from_le_bytes`, so the round trip is bit-exact
+// including NaN payloads and signed zeros (stronger than the JSON path,
+// which nulls out non-finite values).
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hasher = ScenarioHasher::default();
+    hasher.write_bytes(bytes);
+    hasher.finish()
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64_section(out: &mut Vec<u8>, vs: &[f64]) {
+    push_u64(out, vs.len() as u64);
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_u32_section(out: &mut Vec<u8>, vs: &[u32]) {
+    push_u64(out, vs.len() as u64);
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    if vs.len() % 2 == 1 {
+        out.extend_from_slice(&0u32.to_le_bytes()); // keep 8-byte alignment
+    }
+}
+
+/// Encodes a surface into the versioned binary columnar record format.
+pub fn encode_record(surface: &CachedSurface) -> Vec<u8> {
+    let mut payload = Vec::new();
+    push_u64(&mut payload, surface.hash);
+    push_u64(&mut payload, surface.shape.dim as u64);
+    push_u64(&mut payload, surface.shape.ndofs as u64);
+    push_u64(&mut payload, surface.shape.num_states as u64);
+    push_u64(&mut payload, surface.steps as u64);
+    payload.extend_from_slice(&surface.final_sup_change.to_le_bytes());
+    payload.extend_from_slice(&surface.cost_seconds.to_le_bytes());
+    push_f64_section(&mut payload, &surface.fingerprint);
+    push_f64_section(&mut payload, &surface.domain_lo);
+    push_f64_section(&mut payload, &surface.domain_hi);
+    for record in &surface.records {
+        push_u64(&mut payload, record.xps.len() as u64);
+        for &(index, l, i) in &record.xps {
+            payload.extend_from_slice(&index.to_le_bytes());
+            payload.extend_from_slice(&l.to_le_bytes());
+            payload.extend_from_slice(&i.to_le_bytes());
+        }
+        push_u32_section(&mut payload, &record.chains);
+        push_u32_section(&mut payload, &record.order);
+        push_u64(&mut payload, record.nfreq as u64);
+        push_f64_section(&mut payload, &record.surplus);
+    }
+
+    let mut out = Vec::with_capacity(40 + payload.len());
+    out.extend_from_slice(&RECORD_MAGIC);
+    out.extend_from_slice(&BINARY_RECORD_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    push_u64(&mut out, payload.len() as u64);
+    push_u64(&mut out, fnv64(&payload));
+    let header_checksum = fnv64(&out[..32]);
+    push_u64(&mut out, header_checksum);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A bounds-checked little-endian reader over a record payload. Every
+/// length is validated against the remaining bytes *before* any
+/// allocation, so a corrupt or truncated record fails with a typed error
+/// (→ the store's skip-and-warn path), never a panic or a huge alloc.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.at < n {
+            return Err(format!(
+                "truncated record: wanted {n} bytes at offset {}, {} remain",
+                self.at,
+                self.bytes.len() - self.at
+            ));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A section length, validated so `len × elem_bytes` fits in the
+    /// remaining payload.
+    fn section_len(&mut self, elem_bytes: usize) -> Result<usize, String> {
+        let len = self.u64()?;
+        let remaining = (self.bytes.len() - self.at) as u64;
+        if len
+            .checked_mul(elem_bytes as u64)
+            .is_none_or(|b| b > remaining)
+        {
+            return Err(format!(
+                "corrupt record: section of {len} × {elem_bytes}-byte elements \
+                 exceeds the {remaining} remaining bytes"
+            ));
+        }
+        Ok(len as usize)
+    }
+
+    fn f64_section(&mut self) -> Result<Vec<f64>, String> {
+        let len = self.section_len(8)?;
+        let raw = self.take(len * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn u32_section(&mut self) -> Result<Vec<u32>, String> {
+        let len = self.section_len(4)?;
+        let raw = self.take(len * 4)?;
+        let vs = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if len % 2 == 1 {
+            self.take(4)?; // alignment pad
+        }
+        Ok(vs)
+    }
+}
+
+/// Decodes and fully self-validates a binary record. Cross-checks
+/// against the manifest row happen in [`Store::read_record`].
+pub fn decode_record(bytes: &[u8]) -> Result<CachedSurface, String> {
+    if bytes.len() < 40 {
+        return Err(format!("truncated record header ({} bytes)", bytes.len()));
+    }
+    if bytes[..8] != RECORD_MAGIC {
+        return Err("not a binary surface record (bad magic)".into());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != BINARY_RECORD_VERSION {
+        return Err(format!(
+            "binary record format version {version} (expected {BINARY_RECORD_VERSION})"
+        ));
+    }
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload_checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let header_checksum = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+    if fnv64(&bytes[..32]) != header_checksum {
+        return Err("record header checksum mismatch".into());
+    }
+    let payload = &bytes[40..];
+    if payload.len() as u64 != payload_len {
+        return Err(format!(
+            "record payload is {} bytes, header says {payload_len}",
+            payload.len()
+        ));
+    }
+    if fnv64(payload) != payload_checksum {
+        return Err("record payload checksum mismatch".into());
+    }
+
+    let mut r = Reader {
+        bytes: payload,
+        at: 0,
+    };
+    let hash = r.u64()?;
+    let shape = ShapeKey {
+        dim: r.u64()? as usize,
+        ndofs: r.u64()? as usize,
+        num_states: r.u64()? as usize,
+    };
+    let steps = r.u64()? as usize;
+    let final_sup_change = r.f64()?;
+    let cost_seconds = r.f64()?;
+    let fingerprint = r.f64_section()?;
+    let domain_lo = r.f64_section()?;
+    let domain_hi = r.f64_section()?;
+    if shape.num_states > payload.len() / 8 {
+        return Err(format!(
+            "corrupt record: {} discrete states exceed the payload",
+            shape.num_states
+        ));
+    }
+    let mut records = Vec::with_capacity(shape.num_states);
+    for _ in 0..shape.num_states {
+        let nxps = r.section_len(8)?;
+        let raw = r.take(nxps * 8)?;
+        let xps = raw
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                    u16::from_le_bytes(c[4..6].try_into().unwrap()),
+                    u16::from_le_bytes(c[6..8].try_into().unwrap()),
+                )
+            })
+            .collect();
+        let chains = r.u32_section()?;
+        let order = r.u32_section()?;
+        let nfreq = r.u64()? as usize;
+        let surplus = r.f64_section()?;
+        records.push(StateRecord {
+            xps,
+            chains,
+            order,
+            nfreq,
+            surplus,
+        });
+    }
+    if r.at != payload.len() {
+        return Err(format!(
+            "corrupt record: {} trailing bytes after the last section",
+            payload.len() - r.at
+        ));
+    }
+
+    validate_surface(CachedSurface {
+        hash,
+        shape,
+        fingerprint,
+        domain_lo,
+        domain_hi,
+        records,
+        steps,
+        final_sup_change,
+        cost_seconds,
+    })
+}
+
+/// Serializes a surface to the legacy on-disk JSON record (borrowed
+/// fields — no clone of the record rows). Kept public so the
+/// compatibility tests and the serving bench can produce (and time)
+/// legacy records; new deposits always write the binary format.
+pub fn legacy_record_json(surface: &CachedSurface) -> String {
     let mut out = String::new();
     out.push('{');
     serde::write_key("version", &mut out);
@@ -496,57 +849,19 @@ fn surface_json(surface: &CachedSurface) -> String {
     out
 }
 
-/// Reads and fully validates one record file against its index row.
-fn read_surface(path: &Path, entry: &ManifestEntry) -> Result<CachedSurface, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
-    let file: SurfaceFile = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+/// Decodes and fully self-validates a legacy JSON record. Cross-checks
+/// against the manifest row happen in [`Store::read_record`].
+pub fn decode_legacy_record_json(text: &str) -> Result<CachedSurface, String> {
+    let file: SurfaceFile = serde_json::from_str(text).map_err(|e| e.to_string())?;
     if file.version != PERSIST_VERSION {
         return Err(format!(
             "record format version {} (expected {PERSIST_VERSION})",
             file.version
         ));
     }
-    if file.hash != entry.hash {
-        return Err(format!(
-            "record hash {} does not match index hash {}",
-            file.hash, entry.hash
-        ));
-    }
-    if file.shape != entry.shape {
-        return Err("record shape does not match index shape".into());
-    }
-    if file.fingerprint != entry.fingerprint {
-        return Err("record fingerprint does not match index fingerprint".into());
-    }
-    let shape = file.shape;
-    if file.records.len() != shape.num_states {
-        return Err(format!(
-            "{} state records for {} discrete states",
-            file.records.len(),
-            shape.num_states
-        ));
-    }
-    if file.domain_lo.len() != shape.dim || file.domain_hi.len() != shape.dim {
-        return Err(format!(
-            "domain box dims {}/{} do not match shape dim {}",
-            file.domain_lo.len(),
-            file.domain_hi.len(),
-            shape.dim
-        ));
-    }
-    for (lo, hi) in file.domain_lo.iter().zip(&file.domain_hi) {
-        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
-            return Err(format!("degenerate domain box [{lo}, {hi}]"));
-        }
-    }
-    for (z, record) in file.records.iter().enumerate() {
-        record
-            .validate(shape.dim, shape.ndofs)
-            .map_err(|e| format!("state record {z}: {e}"))?;
-    }
-    Ok(CachedSurface {
+    validate_surface(CachedSurface {
         hash: file.hash.0,
-        shape,
+        shape: file.shape,
         fingerprint: file.fingerprint,
         domain_lo: file.domain_lo,
         domain_hi: file.domain_hi,
@@ -555,4 +870,37 @@ fn read_surface(path: &Path, entry: &ManifestEntry) -> Result<CachedSurface, Str
         final_sup_change: file.final_sup_change,
         cost_seconds: file.cost_seconds,
     })
+}
+
+/// The semantic validation every decoded record passes regardless of
+/// format: consistent shapes, a sane domain box, well-formed compressed
+/// state records.
+fn validate_surface(surface: CachedSurface) -> Result<CachedSurface, String> {
+    let shape = surface.shape;
+    if surface.records.len() != shape.num_states {
+        return Err(format!(
+            "{} state records for {} discrete states",
+            surface.records.len(),
+            shape.num_states
+        ));
+    }
+    if surface.domain_lo.len() != shape.dim || surface.domain_hi.len() != shape.dim {
+        return Err(format!(
+            "domain box dims {}/{} do not match shape dim {}",
+            surface.domain_lo.len(),
+            surface.domain_hi.len(),
+            shape.dim
+        ));
+    }
+    for (lo, hi) in surface.domain_lo.iter().zip(&surface.domain_hi) {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(format!("degenerate domain box [{lo}, {hi}]"));
+        }
+    }
+    for (z, record) in surface.records.iter().enumerate() {
+        record
+            .validate(shape.dim, shape.ndofs)
+            .map_err(|e| format!("state record {z}: {e}"))?;
+    }
+    Ok(surface)
 }

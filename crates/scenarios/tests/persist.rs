@@ -194,10 +194,11 @@ fn corrupt_record_files_are_skipped_without_a_panic() {
     let hash = report.hash.0;
     drop(cache);
 
-    // Truncate the record file mid-JSON.
+    // Simulated torn write: truncate the binary record mid-payload —
+    // exactly what a crash between write and fsync could leave behind.
     let record = dir.join(persist::surface_file_name(hash));
-    let text = fs::read_to_string(&record).unwrap();
-    fs::write(&record, &text[..text.len() / 2]).unwrap();
+    let bytes = fs::read(&record).unwrap();
+    fs::write(&record, &bytes[..bytes.len() / 2]).unwrap();
 
     let reopened = SurfaceCache::open(&dir).unwrap();
     assert_eq!(reopened.stats().persisted_entries, 1);
@@ -212,18 +213,163 @@ fn corrupt_record_files_are_skipped_without_a_panic() {
     let served = run_single(&scenario, &third, &config()).unwrap();
     assert_eq!(served.cache, CacheKind::Exact);
 
-    // Semantic corruption (valid JSON, broken structure) is also caught:
-    // damage a structural field and expect a cold solve, not a panic.
-    let text = fs::read_to_string(&record).unwrap();
-    let damaged = text.replacen("\"nfreq\":", "\"nfreq\":9999999,\"was_nfreq\":", 1);
-    assert_ne!(text, damaged, "test must actually damage the record");
-    fs::write(&record, damaged).unwrap();
+    // Silent bit rot: flip one payload byte. The length and structure
+    // stay plausible, so only the checksummed header catches it.
+    let mut bytes = fs::read(&record).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    fs::write(&record, &bytes).unwrap();
     let fourth = SurfaceCache::open(&dir).unwrap();
     let report = run_single(&scenario, &fourth, &config()).unwrap();
     assert_eq!(report.cache, CacheKind::Cold);
     assert_eq!(fourth.stats().skipped, 1);
 
+    // A record truncated to *zero* bytes (crash after create, before
+    // any write reached disk) is equally survivable.
+    fs::write(&record, b"").unwrap();
+    let fifth = SurfaceCache::open(&dir).unwrap();
+    let report = run_single(&scenario, &fifth, &config()).unwrap();
+    assert_eq!(report.cache, CacheKind::Cold);
+    assert_eq!(fifth.stats().skipped, 1);
+
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// Records written before the binary format (legacy JSON, named by the
+/// manifest with a `.json` extension) must read back transparently —
+/// and bitwise — through a format-mixed directory.
+#[test]
+fn legacy_json_records_read_back_transparently() {
+    let dir = temp_cache_dir("legacy");
+    let scenario = base_scenario();
+    let cache = SurfaceCache::open(&dir).unwrap();
+    let hash = run_single(&scenario, &cache, &config()).unwrap().hash.0;
+    let Lookup::Exact(original) = cache.lookup(
+        hash,
+        original_shape(&scenario),
+        &hddm_scenarios::fingerprint(&scenario),
+        false,
+    ) else {
+        panic!("stored surface must be an exact hit in its own cache");
+    };
+    drop(cache);
+
+    // Convert the directory to the pre-binary layout: rewrite the
+    // record as legacy JSON and point the manifest row at it.
+    let bin_name = persist::surface_file_name(hash);
+    let json_name = persist::legacy_surface_file_name(hash);
+    fs::write(dir.join(&json_name), persist::legacy_record_json(&original)).unwrap();
+    fs::remove_file(dir.join(&bin_name)).unwrap();
+    let manifest = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+    let rewritten = manifest.replacen(&bin_name, &json_name, 1);
+    assert_ne!(manifest, rewritten, "manifest must name the record file");
+    fs::write(dir.join(MANIFEST_FILE), rewritten).unwrap();
+
+    // A fresh cache restores the legacy record as a bitwise-equal
+    // zero-step exact hit.
+    let reopened = SurfaceCache::open(&dir).unwrap();
+    assert_eq!(reopened.stats().persisted_entries, 1);
+    let served = run_single(&scenario, &reopened, &config()).unwrap();
+    assert_eq!(served.cache, CacheKind::Exact);
+    assert_eq!(served.steps, 0);
+    assert_eq!(reopened.stats().disk_hits, 1);
+    let Lookup::Exact(restored) = reopened.lookup(
+        hash,
+        original_shape(&scenario),
+        &hddm_scenarios::fingerprint(&scenario),
+        false,
+    ) else {
+        panic!("legacy record must restore as an exact hit");
+    };
+    let probes: Vec<Vec<f64>> = vec![
+        original.domain_lo.clone(),
+        original
+            .domain_lo
+            .iter()
+            .zip(&original.domain_hi)
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect(),
+    ];
+    assert_policies_bitwise_equal(&original, &restored, &probes);
+
+    // Semantic corruption of a legacy record (valid JSON, broken
+    // structure) is caught: damage a structural field and expect a cold
+    // solve, not a panic.
+    let text = fs::read_to_string(dir.join(&json_name)).unwrap();
+    let damaged = text.replacen("\"nfreq\":", "\"nfreq\":9999999,\"was_nfreq\":", 1);
+    assert_ne!(text, damaged, "test must actually damage the record");
+    fs::write(dir.join(&json_name), damaged).unwrap();
+    let third = SurfaceCache::open(&dir).unwrap();
+    let report = run_single(&scenario, &third, &config()).unwrap();
+    assert_eq!(report.cache, CacheKind::Cold);
+    assert_eq!(third.stats().skipped, 1);
+    // The re-solve re-deposited in the current binary format and the
+    // dead legacy file is gone.
+    assert!(dir.join(&bin_name).exists());
+    assert!(!dir.join(&json_name).exists());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The acceptance property of the binary format: encoding and decoding
+/// a surface reproduces the JSON round trip bit-for-bit, in fewer
+/// bytes.
+#[test]
+fn binary_and_json_records_roundtrip_bitwise() {
+    let scenario = base_scenario();
+    let cache = SurfaceCache::default();
+    let hash = run_single(&scenario, &cache, &config()).unwrap().hash.0;
+    let Lookup::Exact(original) = cache.lookup(
+        hash,
+        original_shape(&scenario),
+        &hddm_scenarios::fingerprint(&scenario),
+        false,
+    ) else {
+        panic!("stored surface must be an exact hit in its own cache");
+    };
+
+    let encoded = persist::encode_record(&original);
+    let from_bin = persist::decode_record(&encoded).unwrap();
+    let json = persist::legacy_record_json(&original);
+    let from_json = persist::decode_legacy_record_json(&json).unwrap();
+    assert!(
+        encoded.len() < json.len(),
+        "binary record ({} bytes) must undercut JSON ({} bytes)",
+        encoded.len(),
+        json.len()
+    );
+
+    let probes: Vec<Vec<f64>> = vec![
+        original.domain_lo.clone(),
+        original
+            .domain_lo
+            .iter()
+            .zip(&original.domain_hi)
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect(),
+    ];
+    for (label, restored) in [("binary", &from_bin), ("json", &from_json)] {
+        assert_eq!(restored.hash, original.hash, "{label}");
+        assert_eq!(restored.shape, original.shape, "{label}");
+        assert_eq!(restored.steps, original.steps, "{label}");
+        assert_eq!(
+            restored.final_sup_change.to_bits(),
+            original.final_sup_change.to_bits(),
+            "{label}"
+        );
+        assert_policies_bitwise_equal(&original, restored, &probes);
+    }
+    // Field-level bitwise agreement between the two decoded forms.
+    for (a, b) in from_bin.records.iter().zip(&from_json.records) {
+        assert_eq!(a.xps, b.xps);
+        assert_eq!(a.chains, b.chains);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.nfreq, b.nfreq);
+        assert_eq!(a.surplus.len(), b.surplus.len());
+        for (x, y) in a.surplus.iter().zip(&b.surplus) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
 }
 
 #[test]

@@ -32,7 +32,12 @@
 //! runtime** — plain threads, condvars, and the executor's completion
 //! handle ([`hddm_scenarios::BatchHandle`]); identical pending requests
 //! coalesce into one solve; the queue is bounded (back-pressure via
-//! [`ServeError::QueueFull`], never unbounded buffering).
+//! [`ServeError::QueueFull`], never unbounded buffering). Requests may
+//! carry a [`deadline`](ScenarioRequest::deadline): ones still queued
+//! when it passes are shed with [`ServeError::DeadlineExceeded`] — at
+//! batch-seal time and in the full-queue sweep — without consuming a
+//! solve. [`ScenarioService::stats`] exposes the admission, shedding,
+//! and queue-depth counters as a [`ServiceStats`] snapshot.
 //!
 //! ```
 //! use hddm_olg::Calibration;
@@ -64,4 +69,6 @@ mod service;
 mod types;
 
 pub use service::{ScenarioService, Ticket};
-pub use types::{ScenarioRequest, ScenarioResponse, ServeConfig, ServeError, WarmHint};
+pub use types::{
+    ScenarioRequest, ScenarioResponse, ServeConfig, ServeError, ServiceStats, WarmHint,
+};

@@ -2,16 +2,19 @@
 //! probing), the bounded coalescing queue, and the dispatcher workers.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hddm_scenarios::{
     fingerprint, run_batch, scenario_hash, ExecutorConfig, ScenarioReport, ScenarioSet, ShapeKey,
     SurfaceCache,
 };
 
-use crate::types::{ScenarioRequest, ScenarioResponse, ServeConfig, ServeError, WarmHint};
+use crate::types::{
+    ScenarioRequest, ScenarioResponse, ServeConfig, ServeError, ServiceStats, WarmHint,
+};
 
 /// The completion slot a [`Ticket`] waits on.
 type Slot = Arc<(Mutex<Option<Result<ScenarioResponse, ServeError>>>, Condvar)>;
@@ -69,6 +72,21 @@ impl Ticket {
     }
 }
 
+/// One waiter on a queued group: the ticket's completion slot plus the
+/// request's latency budget — both the absolute expiry (for the shed
+/// check) and the requested duration (for the error the caller sees).
+struct Waiter {
+    slot: Slot,
+    deadline: Option<(Instant, Duration)>,
+}
+
+impl Waiter {
+    fn fulfill(&self, result: Result<ScenarioResponse, ServeError>) {
+        *recover(&self.slot.0) = Some(result);
+        self.slot.1.notify_all();
+    }
+}
+
 /// One queued scenario group: the representative scenario plus every
 /// ticket waiting on it (identical in-queue requests coalesce here — one
 /// solve fans out to all waiters). The drop guard turns an abandoned
@@ -82,17 +100,39 @@ struct Group {
     allow_warm: bool,
     warm_hint: Option<WarmHint>,
     enqueued: Instant,
-    waiters: Vec<Slot>,
+    waiters: Vec<Waiter>,
     fulfilled: bool,
 }
 
 impl Group {
     fn fulfill(&mut self, result: Result<ScenarioResponse, ServeError>) {
         self.fulfilled = true;
-        for slot in self.waiters.drain(..) {
-            *recover(&slot.0) = Some(result.clone());
-            slot.1.notify_all();
+        for waiter in self.waiters.drain(..) {
+            waiter.fulfill(result.clone());
         }
+    }
+
+    /// Answers every waiter whose deadline has passed with
+    /// [`ServeError::DeadlineExceeded`] and removes it. Returns `false`
+    /// (and marks the group fulfilled — no solve owed) when no live
+    /// waiter remains.
+    fn shed_expired(&mut self, now: Instant, counters: &Counters) -> bool {
+        self.waiters.retain(|w| match w.deadline {
+            Some((expires, requested)) if now >= expires => {
+                w.fulfill(Err(ServeError::DeadlineExceeded {
+                    deadline: requested,
+                }));
+                counters.shed_waiters.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            _ => true,
+        });
+        if self.waiters.is_empty() {
+            self.fulfilled = true;
+            counters.shed_groups.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
     }
 }
 
@@ -109,9 +149,27 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Lock-free admission/dispatch counters behind
+/// [`ScenarioService::stats`]. Relaxed ordering throughout: each counter
+/// is an independent monotone tally, not a synchronization edge.
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    exact_hits: AtomicU64,
+    enqueued_groups: AtomicU64,
+    coalesced_waiters: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    shed_waiters: AtomicU64,
+    shed_groups: AtomicU64,
+    dispatched_batches: AtomicU64,
+    dispatched_groups: AtomicU64,
+    queue_depth_peak: AtomicU64,
+}
+
 struct Shared {
     queue: Mutex<QueueState>,
     cv: Condvar,
+    counters: Counters,
 }
 
 /// The non-blocking scenario serving facade over the scenario engine:
@@ -167,6 +225,7 @@ impl ScenarioService {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            counters: Counters::default(),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -196,6 +255,11 @@ impl ScenarioService {
     pub fn submit(&self, request: ScenarioRequest) -> Result<Ticket, ServeError> {
         let admitted = Instant::now();
         request.scenario.validate().map_err(ServeError::Invalid)?;
+        let counters = &self.shared.counters;
+        counters.submitted.fetch_add(1, Ordering::Relaxed);
+        // The latency budget becomes an absolute expiry at admission;
+        // the requested duration rides along for the shed error.
+        let deadline = request.deadline.map(|d| (admitted + d, d));
         let scenario = request.scenario;
         let hash = scenario_hash(&scenario);
         // One derivation of the cache identity (ShapeKey::of is shared
@@ -216,6 +280,7 @@ impl ScenarioService {
                 admitted.elapsed().as_secs_f64(),
             );
             report.worker = "serve-cache".into();
+            counters.exact_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Ticket::ready(Ok(ScenarioResponse {
                 report,
                 warm_hint: None,
@@ -248,7 +313,8 @@ impl ScenarioService {
                 return Err(ServeError::ShuttingDown);
             }
             if let Some(group) = state.groups.iter_mut().find(|g| same_group(g)) {
-                group.waiters.push(slot);
+                group.waiters.push(Waiter { slot, deadline });
+                counters.coalesced_waiters.fetch_add(1, Ordering::Relaxed);
                 drop(state);
                 self.shared.cv.notify_all();
                 return Ok(ticket);
@@ -275,9 +341,19 @@ impl ScenarioService {
             // Re-check: an identical request may have enqueued while the
             // probe ran. Coalesce then (the fresh hint is redundant).
             if let Some(group) = state.groups.iter_mut().find(|g| same_group(g)) {
-                group.waiters.push(slot);
+                group.waiters.push(Waiter { slot, deadline });
+                counters.coalesced_waiters.fetch_add(1, Ordering::Relaxed);
             } else {
                 if state.groups.len() >= self.config.queue_capacity {
+                    // Deadline-aware back-pressure: before rejecting,
+                    // shed queued groups whose every waiter has already
+                    // expired — they will never be served in time, and
+                    // each one freed admits a live request instead.
+                    let now = Instant::now();
+                    state.groups.retain_mut(|g| g.shed_expired(now, counters));
+                }
+                if state.groups.len() >= self.config.queue_capacity {
+                    counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                     return Err(ServeError::QueueFull {
                         capacity: self.config.queue_capacity,
                     });
@@ -290,9 +366,13 @@ impl ScenarioService {
                     allow_warm: request.allow_warm,
                     warm_hint,
                     enqueued: admitted,
-                    waiters: vec![slot],
+                    waiters: vec![Waiter { slot, deadline }],
                     fulfilled: false,
                 });
+                counters.enqueued_groups.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .queue_depth_peak
+                    .fetch_max(state.groups.len() as u64, Ordering::Relaxed);
             }
         }
         self.shared.cv.notify_all();
@@ -309,6 +389,24 @@ impl ScenarioService {
     /// path never appears here).
     pub fn queue_depth(&self) -> usize {
         recover(&self.shared.queue).groups.len()
+    }
+
+    /// Snapshot of the admission and dispatch counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            exact_hits: c.exact_hits.load(Ordering::Relaxed),
+            enqueued_groups: c.enqueued_groups.load(Ordering::Relaxed),
+            coalesced_waiters: c.coalesced_waiters.load(Ordering::Relaxed),
+            rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
+            shed_waiters: c.shed_waiters.load(Ordering::Relaxed),
+            shed_groups: c.shed_groups.load(Ordering::Relaxed),
+            dispatched_batches: c.dispatched_batches.load(Ordering::Relaxed),
+            dispatched_groups: c.dispatched_groups.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth() as u64,
+            queue_depth_peak: c.queue_depth_peak.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -368,15 +466,25 @@ fn dispatcher_loop(cache: &SurfaceCache, config: &ServeConfig, shared: &Shared) 
                         .0;
                 }
             }
-            for _ in 0..max_batch {
+            // Seal-time shedding: a group whose every waiter expired
+            // during the wait is dropped here, *before* it can occupy a
+            // batch slot or burn a solve. Mixed groups keep running for
+            // their live waiters; only the expired ones are answered
+            // early with DeadlineExceeded.
+            let now = Instant::now();
+            while batch.len() < max_batch {
                 match state.groups.pop_front() {
-                    Some(group) => batch.push(group),
+                    Some(mut group) => {
+                        if group.shed_expired(now, &shared.counters) {
+                            batch.push(group);
+                        }
+                    }
                     None => break,
                 }
             }
         }
         if !batch.is_empty() {
-            dispatch(cache, &config.executor, batch);
+            dispatch(cache, &config.executor, batch, &shared.counters);
         }
     }
 }
@@ -384,13 +492,22 @@ fn dispatcher_loop(cache: &SurfaceCache, config: &ServeConfig, shared: &Shared) 
 /// Runs one sealed micro-batch. Requests that forbid warm starts are
 /// split into their own sub-batch so the per-request policy survives the
 /// executor's batch-level `warm_start` flag.
-fn dispatch(cache: &SurfaceCache, executor: &ExecutorConfig, batch: Vec<Group>) {
+fn dispatch(
+    cache: &SurfaceCache,
+    executor: &ExecutorConfig,
+    batch: Vec<Group>,
+    counters: &Counters,
+) {
     let (warm_ok, cold_only): (Vec<Group>, Vec<Group>) =
         batch.into_iter().partition(|g| g.allow_warm);
     for (mut groups, allow_warm) in [(warm_ok, true), (cold_only, false)] {
         if groups.is_empty() {
             continue;
         }
+        counters.dispatched_batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .dispatched_groups
+            .fetch_add(groups.len() as u64, Ordering::Relaxed);
         let set = ScenarioSet {
             scenarios: groups.iter().map(|g| g.scenario.clone()).collect(),
         };
@@ -470,6 +587,41 @@ mod tests {
         let err = submit_distinct().unwrap_err();
         assert_eq!(err, ServeError::QueueFull { capacity: 2 });
         assert!(err.to_string().contains("full"));
+        assert_eq!(service.stats().rejected_queue_full, 1);
+    }
+
+    #[test]
+    fn a_full_queue_sheds_expired_groups_before_rejecting() {
+        let service = undrained(1);
+        let expired = service
+            .submit(ScenarioRequest::new(base()).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert_eq!(service.queue_depth(), 1);
+
+        // At capacity, but the only queued group is fully expired: the
+        // sweep frees its slot and the live request is admitted.
+        let mut other = base();
+        other.calibration.beta = 0.951;
+        let live = service.submit(ScenarioRequest::new(other)).unwrap();
+        assert_eq!(
+            expired.wait().unwrap_err(),
+            ServeError::DeadlineExceeded {
+                deadline: Duration::ZERO
+            }
+        );
+        assert!(live.poll().is_none(), "the live request is queued");
+        assert_eq!(service.queue_depth(), 1);
+        let stats = service.stats();
+        assert_eq!(stats.shed_groups, 1);
+        assert_eq!(stats.shed_waiters, 1);
+        assert_eq!(stats.rejected_queue_full, 0);
+
+        // With only live work queued, overflow is rejected for real.
+        let mut third = base();
+        third.calibration.beta = 0.952;
+        let err = service.submit(ScenarioRequest::new(third)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 1 });
+        assert_eq!(service.stats().rejected_queue_full, 1);
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub struct ScenarioRequest {
     /// reported as [`ScenarioResponse::warm_hint`]). `false` forces a
     /// cold solve on any non-exact lookup.
     pub allow_warm: bool,
+    /// Latency budget measured from submission. A request still queued
+    /// when its deadline passes is shed with
+    /// [`ServeError::DeadlineExceeded`] instead of burning a solve the
+    /// caller no longer wants; shedding happens at batch-seal time and
+    /// when a full queue sweeps for expired groups. `None` (the default)
+    /// waits indefinitely. The deadline gates *admission to dispatch*,
+    /// not the solve itself — a request dispatched just inside its
+    /// deadline still runs to completion.
+    pub deadline: Option<Duration>,
 }
 
 impl ScenarioRequest {
@@ -56,6 +65,7 @@ impl ScenarioRequest {
         ScenarioRequest {
             scenario,
             allow_warm: true,
+            deadline: None,
         }
     }
 
@@ -64,7 +74,14 @@ impl ScenarioRequest {
         ScenarioRequest {
             scenario,
             allow_warm: false,
+            deadline: None,
         }
+    }
+
+    /// Sets the latency budget (see [`ScenarioRequest::deadline`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> ScenarioRequest {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -127,6 +144,12 @@ pub enum ServeError {
         /// The configured queue bound that was hit.
         capacity: usize,
     },
+    /// The request's [`deadline`](ScenarioRequest::deadline) passed while
+    /// it waited in the queue; it was shed without consuming a solve.
+    DeadlineExceeded {
+        /// The latency budget the request was submitted with.
+        deadline: Duration,
+    },
     /// The service is shutting down and no longer admits requests.
     ShuttingDown,
     /// The persistent cache directory could not be opened.
@@ -144,6 +167,13 @@ impl std::fmt::Display for ServeError {
             ServeError::QueueFull { capacity } => {
                 write!(f, "serving queue is full ({capacity} pending groups)")
             }
+            ServeError::DeadlineExceeded { deadline } => {
+                write!(
+                    f,
+                    "deadline of {:.3}s passed while the request was queued",
+                    deadline.as_secs_f64()
+                )
+            }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::Cache(reason) => write!(f, "cache directory unusable: {reason}"),
             ServeError::Executor(e) => write!(f, "executor failed: {e}"),
@@ -158,4 +188,40 @@ impl From<ExecutorError> for ServeError {
     fn from(e: ExecutorError) -> Self {
         ServeError::Executor(e)
     }
+}
+
+/// A consistent snapshot of the service's admission and dispatch
+/// counters ([`ScenarioService::stats`](crate::ScenarioService::stats)).
+/// All counters are cumulative since the service started; only
+/// [`queue_depth`](ServiceStats::queue_depth) is instantaneous.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests that passed validation (exact hits, coalesced waiters,
+    /// enqueued groups, and queue-full rejections all count).
+    pub submitted: u64,
+    /// Requests answered on the caller's thread from the cache.
+    pub exact_hits: u64,
+    /// Groups newly placed on the queue (one per distinct pending
+    /// scenario/policy).
+    pub enqueued_groups: u64,
+    /// Requests that attached to an already-pending identical group
+    /// instead of enqueueing their own.
+    pub coalesced_waiters: u64,
+    /// Submissions rejected with [`ServeError::QueueFull`] after the
+    /// expired-group sweep failed to free a slot.
+    pub rejected_queue_full: u64,
+    /// Waiters answered with [`ServeError::DeadlineExceeded`] because
+    /// their deadline passed before dispatch.
+    pub shed_waiters: u64,
+    /// Queued groups dropped whole — every waiter expired — without
+    /// consuming a solve.
+    pub shed_groups: u64,
+    /// Micro-batches handed to the executor.
+    pub dispatched_batches: u64,
+    /// Scenario groups those micro-batches contained.
+    pub dispatched_groups: u64,
+    /// Pending groups on the queue right now.
+    pub queue_depth: u64,
+    /// High-water mark of the pending queue since the service started.
+    pub queue_depth_peak: u64,
 }

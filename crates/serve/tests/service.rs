@@ -17,7 +17,7 @@ use hddm_olg::Calibration;
 use hddm_scenarios::{
     run_set, CacheKind, ExecutorConfig, Knob, Scenario, ScenarioSet, SurfaceCache,
 };
-use hddm_serve::{ScenarioRequest, ScenarioService, ServeConfig};
+use hddm_serve::{ScenarioRequest, ScenarioService, ServeConfig, ServeError};
 
 fn base() -> Scenario {
     let mut s = Scenario::from_calibration("serve", Calibration::small(4, 3, 2, 0.03));
@@ -256,5 +256,144 @@ fn identical_concurrent_requests_share_one_solve() {
     assert_eq!(
         stats.entries, 1,
         "exactly one surface was solved and deposited"
+    );
+}
+
+/// Admission control: a request whose deadline has already passed when
+/// the dispatcher seals its batch is answered with `DeadlineExceeded`
+/// and never burns a solve.
+#[test]
+fn expired_requests_are_shed_at_seal_without_burning_a_solve() {
+    let service = ScenarioService::new(
+        SurfaceCache::default(),
+        ServeConfig {
+            executor: ExecutorConfig::serial(),
+            workers: 1,
+            linger: Duration::from_millis(20),
+            ..ServeConfig::default()
+        },
+    );
+    let ticket = service
+        .submit(ScenarioRequest::new(base()).with_deadline(Duration::ZERO))
+        .unwrap();
+    let err = ticket.wait().unwrap_err();
+    assert_eq!(
+        err,
+        ServeError::DeadlineExceeded {
+            deadline: Duration::ZERO
+        }
+    );
+    assert!(err.to_string().contains("deadline"));
+    let stats = service.stats();
+    assert_eq!(stats.shed_waiters, 1);
+    assert_eq!(stats.shed_groups, 1);
+    assert_eq!(
+        stats.dispatched_groups, 0,
+        "the shed group never dispatched"
+    );
+    assert_eq!(
+        service.cache().stats().entries,
+        0,
+        "no solve was burned for the expired request"
+    );
+}
+
+/// A coalesced group with one expired and one live waiter sheds only the
+/// expired one — the group still dispatches (once) for the live waiter.
+#[test]
+fn a_coalesced_group_sheds_only_its_expired_waiters() {
+    let service = ScenarioService::new(
+        SurfaceCache::default(),
+        ServeConfig {
+            executor: ExecutorConfig::serial(),
+            workers: 1,
+            linger: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    );
+    let live = service.submit(ScenarioRequest::new(base())).unwrap();
+    let expired = service
+        .submit(ScenarioRequest::new(base()).with_deadline(Duration::ZERO))
+        .unwrap();
+    assert_eq!(service.queue_depth(), 1, "identical requests coalesce");
+    assert_eq!(
+        expired.wait().unwrap_err(),
+        ServeError::DeadlineExceeded {
+            deadline: Duration::ZERO
+        }
+    );
+    let served = live.wait().unwrap();
+    assert_eq!(served.kind(), CacheKind::Cold);
+    assert!(served.report.converged);
+    let stats = service.stats();
+    assert_eq!(stats.coalesced_waiters, 1);
+    assert_eq!(stats.shed_waiters, 1);
+    assert_eq!(
+        stats.shed_groups, 0,
+        "the group still dispatched for its live waiter"
+    );
+    assert_eq!(stats.dispatched_groups, 1);
+    assert_eq!(stats.queue_depth_peak, 1);
+}
+
+/// Linger-window boundary: a request that arrives after a batch seals
+/// (here forced by `max_batch: 1`) is not lost — it lands in the next
+/// sealed batch.
+#[test]
+fn a_request_after_the_seal_lands_in_the_next_batch() {
+    let service = ScenarioService::new(
+        SurfaceCache::default(),
+        ServeConfig {
+            executor: ExecutorConfig::serial(),
+            workers: 1,
+            max_batch: 1,
+            linger: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    let mut second = base();
+    Knob::CapitalSpan.apply(&mut second, 0.45).unwrap();
+    second.name = "serve/next-batch".into();
+    let t1 = service.submit(ScenarioRequest::new(base())).unwrap();
+    // Let the lone dispatcher seal (zero linger → immediately) so the
+    // second request arrives while the first batch is being solved.
+    std::thread::sleep(Duration::from_millis(5));
+    let t2 = service.submit(ScenarioRequest::new(second)).unwrap();
+    let r1 = t1.wait().unwrap();
+    let r2 = t2.wait().unwrap();
+    assert!(r1.report.converged);
+    assert!(r2.report.converged);
+    assert_eq!(r1.batch_size, 1);
+    assert_eq!(r2.batch_size, 1, "the late request rode its own batch");
+    let stats = service.stats();
+    assert_eq!(stats.enqueued_groups, 2);
+    assert_eq!(stats.dispatched_batches, 2);
+    assert_eq!(stats.dispatched_groups, 2);
+}
+
+/// Shutdown during the linger window must break the window and drain
+/// the already-admitted request — a graceful result, not `WorkerLost`.
+#[test]
+fn shutdown_during_the_linger_window_drains_the_queue() {
+    let service = ScenarioService::new(
+        SurfaceCache::default(),
+        ServeConfig {
+            executor: ExecutorConfig::serial(),
+            workers: 1,
+            linger: Duration::from_secs(10),
+            ..ServeConfig::default()
+        },
+    );
+    let started = Instant::now();
+    let ticket = service.submit(ScenarioRequest::new(base())).unwrap();
+    // Give the dispatcher time to enter the linger wait, then shut down.
+    std::thread::sleep(Duration::from_millis(50));
+    drop(service);
+    let served = ticket.wait().expect("shutdown must drain, not abandon");
+    assert_eq!(served.kind(), CacheKind::Cold);
+    assert!(served.report.converged);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "shutdown must break the linger window, not sit it out"
     );
 }
