@@ -35,6 +35,7 @@ struct Args {
     cache_max_entries: Option<usize>,
     cache_max_bytes: Option<u64>,
     expect_all_exact: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         cache_max_entries: None,
         cache_max_bytes: None,
         expect_all_exact: false,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -89,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--expect-all-exact" => args.expect_all_exact = true,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             other => return Err(format!("unknown flag {other:?} (try --demo)")),
         }
     }
@@ -222,6 +225,17 @@ fn main() -> ExitCode {
             ),
             Err(e) => eprintln!("cold re-solve failed: {e}"),
         }
+    }
+
+    if let Some(path) = &args.metrics_out {
+        // The sweep routed its solves through the cache's registry, so
+        // the snapshot carries both cache traffic and driver phase spans.
+        let snapshot = cache.registry().snapshot();
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("scenarios: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics snapshot written to {path}");
     }
 
     if let Some(path) = &args.json {

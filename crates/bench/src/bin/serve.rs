@@ -35,6 +35,7 @@ struct Args {
     linger_ms: u64,
     queue_capacity: usize,
     expect_hits_zero_solve: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         linger_ms: 2,
         queue_capacity: 256,
         expect_hits_zero_solve: false,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
             "--linger-ms" => parse!(linger_ms, "--linger-ms"),
             "--queue-capacity" => parse!(queue_capacity, "--queue-capacity"),
             "--expect-hits-zero-solve" => args.expect_hits_zero_solve = true,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -292,6 +295,14 @@ fn main() -> ExitCode {
         stats.concurrent_restores_peak,
         stats.lock_poisonings
     );
+    if let Some(path) = &args.metrics_out {
+        let snapshot = service.registry().snapshot();
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("serve: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
 
     if failures > 0 || non_converged > 0 {
         eprintln!("serve: {failures} failed request(s), {non_converged} non-converged solve(s)");

@@ -38,11 +38,13 @@ use hddm_scenarios::{
     Scenario, ScenarioSet, ShapeKey, SurfaceCache,
 };
 use hddm_serve::{ScenarioRequest, ScenarioService, ServeConfig, ServeError};
+use hddm_telemetry::nearest_rank;
 
 struct Args {
     smoke: bool,
     cache_dir: Option<String>,
     out: String,
+    metrics_out: Option<String>,
     lifespan: usize,
     work_years: usize,
     hits: usize,
@@ -64,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         cache_dir: None,
         out: "BENCH_serve.json".into(),
+        metrics_out: None,
         lifespan: 5,
         work_years: 3,
         hits: 0, // 0 → mode default, resolved below
@@ -93,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
             "--out" => args.out = value("--out")?,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--lifespan" => parse!(lifespan, "--lifespan"),
             "--work-years" => parse!(work_years, "--work-years"),
             "--hits" => parse!(hits, "--hits"),
@@ -223,14 +227,6 @@ struct LatencyRow {
     max_ms: f64,
 }
 
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
 fn latency_row(path: &'static str, latencies: &mut [f64]) -> LatencyRow {
     latencies.sort_by(|a, b| a.total_cmp(b));
     let n = latencies.len();
@@ -238,9 +234,9 @@ fn latency_row(path: &'static str, latencies: &mut [f64]) -> LatencyRow {
     LatencyRow {
         path,
         requests: n,
-        p50_ms: percentile(latencies, 0.50) * to_ms,
-        p99_ms: percentile(latencies, 0.99) * to_ms,
-        p999_ms: percentile(latencies, 0.999) * to_ms,
+        p50_ms: nearest_rank(latencies, 0.50) * to_ms,
+        p99_ms: nearest_rank(latencies, 0.99) * to_ms,
+        p999_ms: nearest_rank(latencies, 0.999) * to_ms,
         mean_ms: if n == 0 {
             0.0
         } else {
@@ -336,6 +332,9 @@ struct Report {
     throughput: Throughput,
     service: ServiceOut,
     record_format: RecordFormat,
+    /// Full registry snapshot at end of replay: serve admission counters,
+    /// cache traffic, span histograms for every serving + solve phase.
+    metrics: hddm_telemetry::Snapshot,
 }
 
 fn main() -> ExitCode {
@@ -488,6 +487,11 @@ fn run() -> Result<ExitCode, String> {
     }
     let served = exact.len() + warm.len() + cold.len();
     let stats = service.stats();
+    let metrics = service.registry().snapshot();
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
 
     let latency = vec![
         latency_row("exact-hit", &mut exact),
@@ -569,6 +573,7 @@ fn run() -> Result<ExitCode, String> {
             queue_depth_peak: stats.queue_depth_peak,
         },
         record_format,
+        metrics,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;

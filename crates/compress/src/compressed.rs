@@ -16,12 +16,35 @@ thread_local! {
     static BUILDS: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Name of the process-global registry counter incremented by every
+/// [`CompressedGrid::build`] (see [`builds_total`]).
+pub const BUILDS_COUNTER: &str = "hddm_compress_builds_total";
+
+/// The [`BUILDS_COUNTER`] instrument, resolved once.
+fn builds_counter() -> &'static std::sync::Arc<hddm_telemetry::Counter> {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<hddm_telemetry::Counter>> =
+        std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| hddm_telemetry::Registry::global().counter(BUILDS_COUNTER))
+}
+
+/// Process-wide number of full compression-pipeline runs
+/// ([`CompressedGrid::build`]), read from the [`BUILDS_COUNTER`]
+/// instrument on [`hddm_telemetry::Registry::global`].
+pub fn builds_total() -> u64 {
+    builds_counter().get()
+}
+
 /// Number of full compression-pipeline runs ([`CompressedGrid::build`])
 /// this thread has performed. The driver's incremental hierarchization
 /// contract — *one* compression per state per step, regardless of how
 /// many refinement levels the step grows — is asserted against this
 /// counter; it is thread-local so concurrently running tests (or sweep
 /// workers) cannot pollute each other's deltas.
+#[deprecated(
+    note = "use `builds_total()` (the `hddm_compress_builds_total` registry \
+            counter) for process-wide counts; this thread-local shim remains \
+            only for single-thread delta assertions in existing tests"
+)]
 pub fn compression_builds() -> usize {
     BUILDS.with(|b| b.get())
 }
@@ -62,6 +85,7 @@ impl CompressedGrid {
     /// Runs the full compression pipeline on a grid.
     pub fn build(grid: &SparseGrid) -> Self {
         BUILDS.with(|b| b.set(b.get() + 1));
+        builds_counter().inc();
         let xi = XiSparse::from_grid(grid);
         let zero_fraction = xi.zero_fraction();
         let nfreq = xi.nfreq().max(1);
@@ -775,13 +799,18 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn build_counter_counts_pipeline_runs_only() {
         let grid = regular_grid(3, 3);
         let before = crate::compression_builds();
+        let global_before = crate::builds_total();
         let _ = CompressedGrid::build(&grid);
         let mut inc = CompressedGrid::empty(3);
         inc.append_nodes(&grid, &(0..grid.len() as u32).collect::<Vec<_>>());
         assert_eq!(crate::compression_builds(), before + 1);
+        // The registry counter moves in lockstep (other test threads may
+        // add more, so >= rather than ==).
+        assert!(crate::builds_total() > global_before);
     }
 
     #[test]

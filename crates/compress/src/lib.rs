@@ -35,7 +35,9 @@
 pub mod compressed;
 pub mod pipeline;
 
-pub use compressed::{compression_builds, CompressedGrid, CompressionStats};
+#[allow(deprecated)]
+pub use compressed::compression_builds;
+pub use compressed::{builds_total, CompressedGrid, CompressionStats, BUILDS_COUNTER};
 pub use pipeline::{
     build_chains, decompose, renumber, transition, unique_elements, Renumbering, UniqueElements,
     XiElement, XiFreq, XiSparse, XpsEntry,

@@ -42,6 +42,7 @@ use hddm_asg::{hierarchize, regular_grid, BoxDomain};
 use hddm_compress::CompressedGrid;
 use hddm_core::{PolicySet, StateRecord};
 use hddm_kernels::{CompressedState, KernelKind, PointBlock, Scratch};
+use hddm_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::hash::{fingerprint_distances, HashId};
 use crate::persist::{EvictionPolicy, ManifestEntry, Store};
@@ -205,6 +206,53 @@ struct ShardEntry {
     surface: Arc<CachedSurface>,
 }
 
+/// The cache's registry-backed instruments. Traffic counters are
+/// incremented inline on the hot paths; derived quantities (entry counts,
+/// store-side totals, lock recoveries) are gauges refreshed by
+/// [`SurfaceCache::refresh_gauges`] — both before every [`SurfaceCache::stats`]
+/// read and from the registry's collect hook, so a
+/// [`Registry::snapshot`] and a `stats()` call taken at the same quiescent
+/// instant agree bit for bit.
+struct CacheInstruments {
+    registry: Registry,
+    exact_hits: Arc<Counter>,
+    warm_hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    disk_hits: Arc<Counter>,
+    entries: Arc<Gauge>,
+    persisted_entries: Arc<Gauge>,
+    persisted_bytes: Arc<Gauge>,
+    evictions: Arc<Gauge>,
+    skipped: Arc<Gauge>,
+    lock_poisonings: Arc<Gauge>,
+    restores_peak: Arc<Gauge>,
+    restore_seconds: Arc<Histogram>,
+    deposit_seconds: Arc<Histogram>,
+    evict_seconds: Arc<Histogram>,
+}
+
+impl CacheInstruments {
+    fn new(registry: Registry) -> CacheInstruments {
+        CacheInstruments {
+            exact_hits: registry.counter("hddm_cache_exact_hits_total"),
+            warm_hits: registry.counter("hddm_cache_warm_hits_total"),
+            misses: registry.counter("hddm_cache_misses_total"),
+            disk_hits: registry.counter("hddm_cache_disk_hits_total"),
+            entries: registry.gauge("hddm_cache_entries"),
+            persisted_entries: registry.gauge("hddm_cache_persisted_entries"),
+            persisted_bytes: registry.gauge("hddm_cache_persisted_bytes"),
+            evictions: registry.gauge("hddm_cache_evictions"),
+            skipped: registry.gauge("hddm_cache_skipped"),
+            lock_poisonings: registry.gauge("hddm_cache_lock_poisonings"),
+            restores_peak: registry.gauge("hddm_cache_concurrent_restores_peak"),
+            restore_seconds: registry.histogram("hddm_cache_restore_seconds"),
+            deposit_seconds: registry.histogram("hddm_cache_deposit_seconds"),
+            evict_seconds: registry.histogram("hddm_cache_evict_seconds"),
+            registry,
+        }
+    }
+}
+
 struct CacheInner {
     shards: Vec<RwLock<Shard>>,
     /// Global deposit counter (insertion order across shards).
@@ -213,10 +261,7 @@ struct CacheInner {
     store: RwLock<Option<Arc<Store>>>,
     /// Maximum fingerprint distance a warm start may bridge.
     warm_radius: f64,
-    exact_hits: AtomicUsize,
-    warm_hits: AtomicUsize,
-    misses: AtomicUsize,
-    disk_hits: AtomicUsize,
+    metrics: CacheInstruments,
     lock_poisonings: AtomicUsize,
     /// Hashes whose disk restore is currently in flight; guards
     /// restore-once promotion.
@@ -253,7 +298,8 @@ impl SurfaceCache {
     /// An empty in-memory cache accepting warm starts within
     /// `warm_radius` fingerprint distance (see [`fingerprint_distance`]).
     pub fn new(warm_radius: f64) -> SurfaceCache {
-        SurfaceCache {
+        let registry = Registry::new();
+        let cache = SurfaceCache {
             inner: Arc::new(CacheInner {
                 shards: (0..SHARD_COUNT)
                     .map(|_| RwLock::new(Shard::default()))
@@ -261,10 +307,7 @@ impl SurfaceCache {
                 seq: AtomicU64::new(0),
                 store: RwLock::new(None),
                 warm_radius,
-                exact_hits: AtomicUsize::new(0),
-                warm_hits: AtomicUsize::new(0),
-                misses: AtomicUsize::new(0),
-                disk_hits: AtomicUsize::new(0),
+                metrics: CacheInstruments::new(registry.clone()),
                 lock_poisonings: AtomicUsize::new(0),
                 inflight: Mutex::new(HashSet::new()),
                 inflight_cv: Condvar::new(),
@@ -272,7 +315,56 @@ impl SurfaceCache {
                 restore_peak: AtomicUsize::new(0),
                 restore_hook: RwLock::new(None),
             }),
-        }
+        };
+        // The hook holds a Weak so the registry (owned by the inner) never
+        // keeps the cache alive; once every handle is dropped, the hook
+        // silently becomes a no-op.
+        let weak = Arc::downgrade(&cache.inner);
+        registry.on_collect(move || {
+            if let Some(inner) = weak.upgrade() {
+                SurfaceCache { inner }.refresh_gauges();
+            }
+        });
+        cache
+    }
+
+    /// The registry holding this cache's instruments
+    /// (`hddm_cache_*`) — and, for solves routed through
+    /// [`crate::executor`] without an explicit telemetry override, the
+    /// driver's `hddm_solve_*` phase spans too.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.metrics.registry
+    }
+
+    /// Refreshes the derived gauges (entry counts, store totals, lock
+    /// recoveries, restore high-water mark) from their sources. Invoked
+    /// before every [`SurfaceCache::stats`] read and by the registry's
+    /// collect hook ahead of each snapshot.
+    fn refresh_gauges(&self) {
+        let entries: usize = (0..SHARD_COUNT)
+            .map(|i| self.shard_read(i).by_hash.len())
+            .sum();
+        let (persisted_entries, persisted_bytes, evictions, skipped, store_poisonings) =
+            match self.store() {
+                Some(store) => (
+                    store.len(),
+                    store.total_bytes(),
+                    store.evictions(),
+                    store.skipped(),
+                    store.poisonings(),
+                ),
+                None => (0, 0, 0, 0, 0),
+            };
+        let m = &self.inner.metrics;
+        m.entries.set(entries as u64);
+        m.persisted_entries.set(persisted_entries as u64);
+        m.persisted_bytes.set(persisted_bytes);
+        m.evictions.set(evictions as u64);
+        m.skipped.set(skipped as u64);
+        m.lock_poisonings
+            .set((self.inner.lock_poisonings.load(Ordering::Relaxed) + store_poisonings) as u64);
+        m.restores_peak
+            .set(self.inner.restore_peak.load(Ordering::SeqCst) as u64);
     }
 
     /// Opens a cache backed by the persistent directory `dir` (created if
@@ -491,7 +583,10 @@ impl SurfaceCache {
         if let Some(hook) = hook {
             hook(hash);
         }
+        let span =
+            hddm_telemetry::SpanTimer::start(Arc::clone(&self.inner.metrics.restore_seconds));
         let read = store.read_record(&entry);
+        span.stop();
         drop(_gauge);
 
         match read {
@@ -504,7 +599,7 @@ impl SurfaceCache {
                 });
                 let promoted = Arc::clone(&entry.surface);
                 drop(shard);
-                self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.disk_hits.inc();
                 Some(promoted)
             }
             Err(e) => {
@@ -542,7 +637,7 @@ impl SurfaceCache {
         // A colliding hash with an incompatible shape/fingerprint is a
         // miss, exactly as in `lookup`.
         if entry.shape == shape && entry.fingerprint == fingerprint {
-            self.inner.exact_hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.exact_hits.inc();
             Some(entry)
         } else {
             None
@@ -575,14 +670,14 @@ impl SurfaceCache {
         let exact = exact.or_else(|| self.promote_from_disk(hash));
         if let Some(entry) = exact {
             if entry.shape == shape && entry.fingerprint == fingerprint {
-                self.inner.exact_hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.exact_hits.inc();
                 return Lookup::Exact(entry);
             }
             // Collision: fall through to the warm path / miss.
         }
 
         if !allow_warm {
-            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.misses.inc();
             return Lookup::Miss;
         }
 
@@ -607,7 +702,7 @@ impl SurfaceCache {
             match from_disk {
                 Some(h) => {
                     if let Some(entry) = self.promote_from_disk(h) {
-                        self.inner.warm_hits.fetch_add(1, Ordering::Relaxed);
+                        self.inner.metrics.warm_hits.inc();
                         return Lookup::Warm(entry);
                     }
                     // Corrupt candidate was skipped; rescan.
@@ -615,11 +710,11 @@ impl SurfaceCache {
                 None => {
                     return match best_mem {
                         Some((_, surface)) => {
-                            self.inner.warm_hits.fetch_add(1, Ordering::Relaxed);
+                            self.inner.metrics.warm_hits.inc();
                             Lookup::Warm(surface)
                         }
                         None => {
-                            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                            self.inner.metrics.misses.inc();
                             Lookup::Miss
                         }
                     };
@@ -737,6 +832,8 @@ impl SurfaceCache {
         final_sup_change: f64,
         cost_seconds: f64,
     ) {
+        let deposit_span =
+            hddm_telemetry::SpanTimer::start(Arc::clone(&self.inner.metrics.deposit_seconds));
         let records = (0..policy.states.num_states())
             .map(|z| StateRecord::capture(policy.states.state(z)))
             .collect();
@@ -770,8 +867,14 @@ impl SurfaceCache {
         if let Some(store) = self.store() {
             match store.insert(&surface) {
                 Ok(evicted) => {
-                    for h in evicted {
-                        self.shard_write(shard_of(h)).by_hash.remove(&h);
+                    if !evicted.is_empty() {
+                        let span = hddm_telemetry::SpanTimer::start(Arc::clone(
+                            &self.inner.metrics.evict_seconds,
+                        ));
+                        for h in evicted {
+                            self.shard_write(shard_of(h)).by_hash.remove(&h);
+                        }
+                        span.stop();
                     }
                 }
                 Err(e) => eprintln!(
@@ -780,6 +883,7 @@ impl SurfaceCache {
                 ),
             }
         }
+        deposit_span.stop();
     }
 
     /// The measured cost of the nearest same-shape cached scenario —
@@ -792,34 +896,25 @@ impl SurfaceCache {
             .map(|n| n.cost_seconds)
     }
 
-    /// Telemetry snapshot.
+    /// Telemetry snapshot — a structured view over the registry's
+    /// instruments. The gauges are refreshed first through the same path
+    /// the registry's collect hook uses, so a [`Registry::snapshot`] taken
+    /// at the same quiescent instant reports bit-identical values.
     pub fn stats(&self) -> CacheStats {
-        let entries = (0..SHARD_COUNT)
-            .map(|i| self.shard_read(i).by_hash.len())
-            .sum();
-        let (persisted_entries, persisted_bytes, evictions, skipped, store_poisonings) =
-            match self.store() {
-                Some(store) => (
-                    store.len(),
-                    store.total_bytes(),
-                    store.evictions(),
-                    store.skipped(),
-                    store.poisonings(),
-                ),
-                None => (0, 0, 0, 0, 0),
-            };
+        self.refresh_gauges();
+        let m = &self.inner.metrics;
         CacheStats {
-            entries,
-            persisted_entries,
-            persisted_bytes,
-            exact_hits: self.inner.exact_hits.load(Ordering::Relaxed),
-            warm_hits: self.inner.warm_hits.load(Ordering::Relaxed),
-            misses: self.inner.misses.load(Ordering::Relaxed),
-            disk_hits: self.inner.disk_hits.load(Ordering::Relaxed),
-            evictions,
-            skipped,
-            lock_poisonings: self.inner.lock_poisonings.load(Ordering::Relaxed) + store_poisonings,
-            concurrent_restores_peak: self.inner.restore_peak.load(Ordering::SeqCst),
+            entries: m.entries.get() as usize,
+            persisted_entries: m.persisted_entries.get() as usize,
+            persisted_bytes: m.persisted_bytes.get(),
+            exact_hits: m.exact_hits.get() as usize,
+            warm_hits: m.warm_hits.get() as usize,
+            misses: m.misses.get() as usize,
+            disk_hits: m.disk_hits.get() as usize,
+            evictions: m.evictions.get() as usize,
+            skipped: m.skipped.get() as usize,
+            lock_poisonings: m.lock_poisonings.get() as usize,
+            concurrent_restores_peak: m.restores_peak.get() as usize,
         }
     }
 }
@@ -1250,6 +1345,67 @@ mod tests {
         assert!(
             cache.stats().lock_poisonings >= 1,
             "poisoning recovery must be counted"
+        );
+    }
+
+    #[test]
+    fn stats_and_registry_snapshot_agree_bit_for_bit() {
+        let cache = SurfaceCache::new(0.05);
+        let domain = BoxDomain::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let policy = linear_policy(&domain, 1.0, 2.0);
+        cache.store_policy(77, shape(), vec![0.95, 2.0], &policy, 9, 1e-8, 0.5);
+        // Traffic over every counter class: exact, warm, miss.
+        let _ = cache.lookup(77, shape(), &[0.95, 2.0], true);
+        let _ = cache.lookup(78, shape(), &[0.953, 2.0], true);
+        let _ = cache.lookup(79, shape(), &[0.5, 2.0], true);
+
+        let stats = cache.stats();
+        let snap = cache.registry().snapshot();
+        let counter = |name: &str| {
+            snap.counter(name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let gauge = |name: &str| snap.gauge(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert_eq!(
+            stats.exact_hits as u64,
+            counter("hddm_cache_exact_hits_total")
+        );
+        assert_eq!(
+            stats.warm_hits as u64,
+            counter("hddm_cache_warm_hits_total")
+        );
+        assert_eq!(stats.misses as u64, counter("hddm_cache_misses_total"));
+        assert_eq!(
+            stats.disk_hits as u64,
+            counter("hddm_cache_disk_hits_total")
+        );
+        assert_eq!(stats.entries as u64, gauge("hddm_cache_entries"));
+        assert_eq!(
+            stats.persisted_entries as u64,
+            gauge("hddm_cache_persisted_entries")
+        );
+        assert_eq!(stats.persisted_bytes, gauge("hddm_cache_persisted_bytes"));
+        assert_eq!(stats.evictions as u64, gauge("hddm_cache_evictions"));
+        assert_eq!(stats.skipped as u64, gauge("hddm_cache_skipped"));
+        assert_eq!(
+            stats.lock_poisonings as u64,
+            gauge("hddm_cache_lock_poisonings")
+        );
+        assert_eq!(
+            stats.concurrent_restores_peak as u64,
+            gauge("hddm_cache_concurrent_restores_peak")
+        );
+        // Deposits were timed.
+        let deposit = snap.histogram("hddm_cache_deposit_seconds").unwrap();
+        assert_eq!(deposit.count, 1);
+        // Separate caches own separate registries: no cross-talk.
+        let other = SurfaceCache::default();
+        assert_eq!(
+            other
+                .registry()
+                .snapshot()
+                .counter("hddm_cache_misses_total"),
+            Some(0)
         );
     }
 }

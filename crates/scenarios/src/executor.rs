@@ -40,6 +40,7 @@ use hddm_core::{DriverConfig, OlgStep, TimeIteration};
 use hddm_kernels::KernelKind;
 use hddm_sched::{parallel_for_init, PoolConfig};
 use hddm_solver::NewtonOptions;
+use hddm_telemetry::Registry;
 
 use crate::cache::{project_policy, Lookup, ShapeKey, SurfaceCache};
 use crate::hash::{fingerprint, scenario_hash, HashId};
@@ -129,6 +130,11 @@ pub struct ExecutorConfig {
     /// Size bounds of the persistent cache (LRU-by-insertion eviction);
     /// ignored without `cache_dir`.
     pub cache_eviction: EvictionPolicy,
+    /// Registry receiving driver phase spans (`hddm_solve_*_seconds`) and
+    /// per-scenario solve timings. `None` (the default) routes them to the
+    /// cache's own registry, so one snapshot covers cache and solve
+    /// activity together.
+    pub telemetry: Option<Registry>,
 }
 
 impl Default for ExecutorConfig {
@@ -143,6 +149,7 @@ impl Default for ExecutorConfig {
             warm_start: true,
             cache_dir: None,
             cache_eviction: EvictionPolicy::default(),
+            telemetry: None,
         }
     }
 }
@@ -192,10 +199,11 @@ fn estimate_cost(scenario: &Scenario, cache: &SurfaceCache) -> f64 {
         .unwrap_or_else(|| analytic_cost(scenario))
 }
 
-fn driver_config(scenario: &Scenario, kernel: KernelKind) -> DriverConfig {
+fn driver_config(scenario: &Scenario, kernel: KernelKind, telemetry: Registry) -> DriverConfig {
     let s = &scenario.solve;
     DriverConfig {
         kernel,
+        telemetry: Some(telemetry),
         start_level: s.start_level,
         refine_epsilon: s.refine_epsilon,
         max_level: s.max_level,
@@ -244,7 +252,11 @@ fn solve_one(
         ..Default::default()
     };
     let step = OlgStep { model, newton };
-    let dconfig = driver_config(scenario, config.kernel);
+    let registry = config
+        .telemetry
+        .clone()
+        .unwrap_or_else(|| cache.registry().clone());
+    let dconfig = driver_config(scenario, config.kernel, registry.clone());
 
     let (mut ti, cache_tag, warm_source) = match looked_up {
         Lookup::Warm(surface) => match project_policy(
@@ -280,6 +292,9 @@ fn solve_one(
     let last = reports.last().expect("max_steps ≥ 1 yields ≥ 1 report");
     let converged = last.sup_change < tolerance;
     let wall = start.elapsed().as_secs_f64();
+    registry
+        .histogram("hddm_solve_scenario_seconds")
+        .record(wall);
     if converged {
         cache.store_policy(
             hash,

@@ -2,7 +2,6 @@
 //! probing), the bounded coalescing queue, and the dispatcher workers.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -11,6 +10,7 @@ use hddm_scenarios::{
     fingerprint, run_batch, scenario_hash, ExecutorConfig, ScenarioReport, ScenarioSet, ShapeKey,
     SurfaceCache,
 };
+use hddm_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::types::{
     ScenarioRequest, ScenarioResponse, ServeConfig, ServeError, ServiceStats, WarmHint,
@@ -116,20 +116,20 @@ impl Group {
     /// [`ServeError::DeadlineExceeded`] and removes it. Returns `false`
     /// (and marks the group fulfilled — no solve owed) when no live
     /// waiter remains.
-    fn shed_expired(&mut self, now: Instant, counters: &Counters) -> bool {
+    fn shed_expired(&mut self, now: Instant, metrics: &Instruments) -> bool {
         self.waiters.retain(|w| match w.deadline {
             Some((expires, requested)) if now >= expires => {
                 w.fulfill(Err(ServeError::DeadlineExceeded {
                     deadline: requested,
                 }));
-                counters.shed_waiters.fetch_add(1, Ordering::Relaxed);
+                metrics.shed_waiters.inc();
                 false
             }
             _ => true,
         });
         if self.waiters.is_empty() {
             self.fulfilled = true;
-            counters.shed_groups.fetch_add(1, Ordering::Relaxed);
+            metrics.shed_groups.inc();
             return false;
         }
         true
@@ -149,27 +149,59 @@ struct QueueState {
     shutdown: bool,
 }
 
-/// Lock-free admission/dispatch counters behind
-/// [`ScenarioService::stats`]. Relaxed ordering throughout: each counter
-/// is an independent monotone tally, not a synchronization edge.
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    exact_hits: AtomicU64,
-    enqueued_groups: AtomicU64,
-    coalesced_waiters: AtomicU64,
-    rejected_queue_full: AtomicU64,
-    shed_waiters: AtomicU64,
-    shed_groups: AtomicU64,
-    dispatched_batches: AtomicU64,
-    dispatched_groups: AtomicU64,
-    queue_depth_peak: AtomicU64,
+/// Registry-backed admission/dispatch instruments behind
+/// [`ScenarioService::stats`]. The counters are lock-free relaxed atomics
+/// (each an independent monotone tally, not a synchronization edge); the
+/// histograms time the serving phases: exact-hit latency, the warm-hint
+/// probe, queue wait, and batch solves. All live in the cache's registry,
+/// so one snapshot covers admission, cache traffic, and the dispatched
+/// solves' driver phases together.
+struct Instruments {
+    registry: Registry,
+    submitted: Arc<Counter>,
+    exact_hits: Arc<Counter>,
+    enqueued_groups: Arc<Counter>,
+    coalesced_waiters: Arc<Counter>,
+    rejected_queue_full: Arc<Counter>,
+    shed_waiters: Arc<Counter>,
+    shed_groups: Arc<Counter>,
+    dispatched_batches: Arc<Counter>,
+    dispatched_groups: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queue_depth_peak: Arc<Gauge>,
+    exact_hit_seconds: Arc<Histogram>,
+    warm_hint_seconds: Arc<Histogram>,
+    queue_wait_seconds: Arc<Histogram>,
+    batch_solve_seconds: Arc<Histogram>,
+}
+
+impl Instruments {
+    fn new(registry: Registry) -> Instruments {
+        Instruments {
+            submitted: registry.counter("hddm_serve_submitted_total"),
+            exact_hits: registry.counter("hddm_serve_exact_hits_total"),
+            enqueued_groups: registry.counter("hddm_serve_enqueued_groups_total"),
+            coalesced_waiters: registry.counter("hddm_serve_coalesced_waiters_total"),
+            rejected_queue_full: registry.counter("hddm_serve_rejected_queue_full_total"),
+            shed_waiters: registry.counter("hddm_serve_shed_waiters_total"),
+            shed_groups: registry.counter("hddm_serve_shed_groups_total"),
+            dispatched_batches: registry.counter("hddm_serve_dispatched_batches_total"),
+            dispatched_groups: registry.counter("hddm_serve_dispatched_groups_total"),
+            queue_depth: registry.gauge("hddm_serve_queue_depth"),
+            queue_depth_peak: registry.gauge("hddm_serve_queue_depth_peak"),
+            exact_hit_seconds: registry.histogram("hddm_serve_exact_hit_seconds"),
+            warm_hint_seconds: registry.histogram("hddm_serve_warm_hint_seconds"),
+            queue_wait_seconds: registry.histogram("hddm_serve_queue_wait_seconds"),
+            batch_solve_seconds: registry.histogram("hddm_serve_batch_solve_seconds"),
+            registry,
+        }
+    }
 }
 
 struct Shared {
     queue: Mutex<QueueState>,
     cv: Condvar,
-    counters: Counters,
+    metrics: Instruments,
 }
 
 /// The non-blocking scenario serving facade over the scenario engine:
@@ -219,13 +251,28 @@ impl ScenarioService {
     /// Spawns with an explicit worker count; `workers == 0` (tests only)
     /// leaves the queue undrained.
     fn spawn(cache: SurfaceCache, config: ServeConfig, workers: usize) -> ScenarioService {
+        // The service's instruments live in the cache's registry: one
+        // snapshot covers admission, cache traffic, and solve phases.
+        let registry = cache.registry().clone();
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 groups: VecDeque::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
-            counters: Counters::default(),
+            metrics: Instruments::new(registry.clone()),
+        });
+        // Refresh the live queue-depth gauge ahead of every snapshot; the
+        // Weak keeps the registry from holding the queue alive after the
+        // service is dropped.
+        let weak = Arc::downgrade(&shared);
+        registry.on_collect(move || {
+            if let Some(shared) = weak.upgrade() {
+                shared
+                    .metrics
+                    .queue_depth
+                    .set(recover(&shared.queue).groups.len() as u64);
+            }
         });
         let handles = (0..workers)
             .map(|_| {
@@ -248,6 +295,13 @@ impl ScenarioService {
         &self.cache
     }
 
+    /// The registry holding this service's instruments (`hddm_serve_*`)
+    /// — shared with the cache's (`hddm_cache_*`) and, through the
+    /// executor, the dispatched solves' phase spans (`hddm_solve_*`).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.metrics.registry
+    }
+
     /// Admits a request and returns a [`Ticket`] without blocking on any
     /// solve. Exact hits come back pre-fulfilled (the lookup — including
     /// a lazy disk restore — runs on the calling thread, concurrently
@@ -255,8 +309,8 @@ impl ScenarioService {
     pub fn submit(&self, request: ScenarioRequest) -> Result<Ticket, ServeError> {
         let admitted = Instant::now();
         request.scenario.validate().map_err(ServeError::Invalid)?;
-        let counters = &self.shared.counters;
-        counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let metrics = &self.shared.metrics;
+        metrics.submitted.inc();
         // The latency budget becomes an absolute expiry at admission;
         // the requested duration rides along for the shed error.
         let deadline = request.deadline.map(|d| (admitted + d, d));
@@ -280,7 +334,10 @@ impl ScenarioService {
                 admitted.elapsed().as_secs_f64(),
             );
             report.worker = "serve-cache".into();
-            counters.exact_hits.fetch_add(1, Ordering::Relaxed);
+            metrics.exact_hits.inc();
+            metrics
+                .exact_hit_seconds
+                .record(admitted.elapsed().as_secs_f64());
             return Ok(Ticket::ready(Ok(ScenarioResponse {
                 report,
                 warm_hint: None,
@@ -314,7 +371,7 @@ impl ScenarioService {
             }
             if let Some(group) = state.groups.iter_mut().find(|g| same_group(g)) {
                 group.waiters.push(Waiter { slot, deadline });
-                counters.coalesced_waiters.fetch_add(1, Ordering::Relaxed);
+                metrics.coalesced_waiters.inc();
                 drop(state);
                 self.shared.cv.notify_all();
                 return Ok(ticket);
@@ -324,11 +381,14 @@ impl ScenarioService {
         // Near-miss probe (outside the queue lock — it scans every shard
         // and the persistent index): index metadata only, no record I/O.
         let warm_hint = if request.allow_warm {
-            self.cache.nearest_neighbour(shape, &fp).map(|n| WarmHint {
+            let span = hddm_telemetry::SpanTimer::start(Arc::clone(&metrics.warm_hint_seconds));
+            let hint = self.cache.nearest_neighbour(shape, &fp).map(|n| WarmHint {
                 source: n.hash,
                 distance: n.distance,
                 estimated_cost_seconds: n.cost_seconds,
-            })
+            });
+            span.stop();
+            hint
         } else {
             None
         };
@@ -342,7 +402,7 @@ impl ScenarioService {
             // probe ran. Coalesce then (the fresh hint is redundant).
             if let Some(group) = state.groups.iter_mut().find(|g| same_group(g)) {
                 group.waiters.push(Waiter { slot, deadline });
-                counters.coalesced_waiters.fetch_add(1, Ordering::Relaxed);
+                metrics.coalesced_waiters.inc();
             } else {
                 if state.groups.len() >= self.config.queue_capacity {
                     // Deadline-aware back-pressure: before rejecting,
@@ -350,10 +410,10 @@ impl ScenarioService {
                     // expired — they will never be served in time, and
                     // each one freed admits a live request instead.
                     let now = Instant::now();
-                    state.groups.retain_mut(|g| g.shed_expired(now, counters));
+                    state.groups.retain_mut(|g| g.shed_expired(now, metrics));
                 }
                 if state.groups.len() >= self.config.queue_capacity {
-                    counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                    metrics.rejected_queue_full.inc();
                     return Err(ServeError::QueueFull {
                         capacity: self.config.queue_capacity,
                     });
@@ -369,10 +429,10 @@ impl ScenarioService {
                     waiters: vec![Waiter { slot, deadline }],
                     fulfilled: false,
                 });
-                counters.enqueued_groups.fetch_add(1, Ordering::Relaxed);
-                counters
+                metrics.enqueued_groups.inc();
+                metrics
                     .queue_depth_peak
-                    .fetch_max(state.groups.len() as u64, Ordering::Relaxed);
+                    .fetch_max(state.groups.len() as u64);
             }
         }
         self.shared.cv.notify_all();
@@ -391,21 +451,26 @@ impl ScenarioService {
         recover(&self.shared.queue).groups.len()
     }
 
-    /// Snapshot of the admission and dispatch counters.
+    /// Snapshot of the admission and dispatch counters — a structured
+    /// view over the registry's instruments. The live queue-depth gauge
+    /// is refreshed first through the same path the registry's collect
+    /// hook uses, so a [`Registry::snapshot`] taken at the same quiescent
+    /// instant reports bit-identical values.
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.shared.counters;
+        let m = &self.shared.metrics;
+        m.queue_depth.set(self.queue_depth() as u64);
         ServiceStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            exact_hits: c.exact_hits.load(Ordering::Relaxed),
-            enqueued_groups: c.enqueued_groups.load(Ordering::Relaxed),
-            coalesced_waiters: c.coalesced_waiters.load(Ordering::Relaxed),
-            rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
-            shed_waiters: c.shed_waiters.load(Ordering::Relaxed),
-            shed_groups: c.shed_groups.load(Ordering::Relaxed),
-            dispatched_batches: c.dispatched_batches.load(Ordering::Relaxed),
-            dispatched_groups: c.dispatched_groups.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth() as u64,
-            queue_depth_peak: c.queue_depth_peak.load(Ordering::Relaxed),
+            submitted: m.submitted.get(),
+            exact_hits: m.exact_hits.get(),
+            enqueued_groups: m.enqueued_groups.get(),
+            coalesced_waiters: m.coalesced_waiters.get(),
+            rejected_queue_full: m.rejected_queue_full.get(),
+            shed_waiters: m.shed_waiters.get(),
+            shed_groups: m.shed_groups.get(),
+            dispatched_batches: m.dispatched_batches.get(),
+            dispatched_groups: m.dispatched_groups.get(),
+            queue_depth: m.queue_depth.get(),
+            queue_depth_peak: m.queue_depth_peak.get(),
         }
     }
 }
@@ -475,7 +540,7 @@ fn dispatcher_loop(cache: &SurfaceCache, config: &ServeConfig, shared: &Shared) 
             while batch.len() < max_batch {
                 match state.groups.pop_front() {
                     Some(mut group) => {
-                        if group.shed_expired(now, &shared.counters) {
+                        if group.shed_expired(now, &shared.metrics) {
                             batch.push(group);
                         }
                     }
@@ -484,7 +549,7 @@ fn dispatcher_loop(cache: &SurfaceCache, config: &ServeConfig, shared: &Shared) 
             }
         }
         if !batch.is_empty() {
-            dispatch(cache, &config.executor, batch, &shared.counters);
+            dispatch(cache, &config.executor, batch, &shared.metrics);
         }
     }
 }
@@ -496,7 +561,7 @@ fn dispatch(
     cache: &SurfaceCache,
     executor: &ExecutorConfig,
     batch: Vec<Group>,
-    counters: &Counters,
+    metrics: &Instruments,
 ) {
     let (warm_ok, cold_only): (Vec<Group>, Vec<Group>) =
         batch.into_iter().partition(|g| g.allow_warm);
@@ -504,10 +569,8 @@ fn dispatch(
         if groups.is_empty() {
             continue;
         }
-        counters.dispatched_batches.fetch_add(1, Ordering::Relaxed);
-        counters
-            .dispatched_groups
-            .fetch_add(groups.len() as u64, Ordering::Relaxed);
+        metrics.dispatched_batches.inc();
+        metrics.dispatched_groups.add(groups.len() as u64);
         let set = ScenarioSet {
             scenarios: groups.iter().map(|g| g.scenario.clone()).collect(),
         };
@@ -517,6 +580,11 @@ fn dispatch(
         };
         let dispatched = Instant::now();
         let batch_size = groups.len();
+        for group in &groups {
+            metrics
+                .queue_wait_seconds
+                .record(dispatched.duration_since(group.enqueued).as_secs_f64());
+        }
         match run_batch(set, cache.clone(), exec) {
             Ok(mut handle) => {
                 while let Some((i, result)) = handle.recv() {
@@ -541,6 +609,9 @@ fn dispatch(
                 }
             }
         }
+        metrics
+            .batch_solve_seconds
+            .record(dispatched.elapsed().as_secs_f64());
     }
 }
 
@@ -661,5 +732,69 @@ mod tests {
         recover(&service.shared.queue).shutdown = true;
         let err = service.submit(ScenarioRequest::new(base())).unwrap_err();
         assert_eq!(err, ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn stats_and_registry_snapshot_agree_bit_for_bit() {
+        // Traffic over every admission counter class: enqueue, coalesce,
+        // shed, reject.
+        let service = undrained(1);
+        let expired = service
+            .submit(ScenarioRequest::new(base()).with_deadline(Duration::ZERO))
+            .unwrap();
+        let _coalesced = service
+            .submit(ScenarioRequest::new(base()).with_deadline(Duration::ZERO))
+            .unwrap();
+        let mut other = base();
+        other.calibration.beta = 0.951;
+        let _live = service.submit(ScenarioRequest::new(other)).unwrap();
+        let _ = expired.wait();
+        let mut third = base();
+        third.calibration.beta = 0.952;
+        let _ = service.submit(ScenarioRequest::new(third)).unwrap_err();
+
+        let stats = service.stats();
+        let snap = service.registry().snapshot();
+        let counter = |name: &str| {
+            snap.counter(name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let gauge = |name: &str| snap.gauge(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert_eq!(stats.submitted, counter("hddm_serve_submitted_total"));
+        assert_eq!(stats.exact_hits, counter("hddm_serve_exact_hits_total"));
+        assert_eq!(
+            stats.enqueued_groups,
+            counter("hddm_serve_enqueued_groups_total")
+        );
+        assert_eq!(
+            stats.coalesced_waiters,
+            counter("hddm_serve_coalesced_waiters_total")
+        );
+        assert_eq!(
+            stats.rejected_queue_full,
+            counter("hddm_serve_rejected_queue_full_total")
+        );
+        assert_eq!(stats.shed_waiters, counter("hddm_serve_shed_waiters_total"));
+        assert_eq!(stats.shed_groups, counter("hddm_serve_shed_groups_total"));
+        assert_eq!(
+            stats.dispatched_batches,
+            counter("hddm_serve_dispatched_batches_total")
+        );
+        assert_eq!(
+            stats.dispatched_groups,
+            counter("hddm_serve_dispatched_groups_total")
+        );
+        assert_eq!(stats.queue_depth, gauge("hddm_serve_queue_depth"));
+        assert_eq!(stats.queue_depth_peak, gauge("hddm_serve_queue_depth_peak"));
+        // The admission identity the metrics-check tool enforces.
+        assert_eq!(
+            stats.submitted,
+            stats.exact_hits
+                + stats.enqueued_groups
+                + stats.coalesced_waiters
+                + stats.rejected_queue_full
+        );
+        // Cache and serve instruments share one registry.
+        assert!(snap.counter("hddm_cache_misses_total").is_some());
     }
 }

@@ -23,6 +23,7 @@
 //! | [`core`] | `hddm-core` | the time-iteration driver |
 //! | [`scenarios`] | `hddm-scenarios` | batched multi-calibration sweeps + policy-surface cache |
 //! | [`serve`] | `hddm-serve` | scenario serving facade: exact-hit fast path + miss micro-batching |
+//! | [`telemetry`] | `hddm-telemetry` | lock-free metrics registry, span timing, JSON/text exposition |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction inventory.
@@ -56,3 +57,4 @@ pub use hddm_scenarios as scenarios;
 pub use hddm_sched as sched;
 pub use hddm_serve as serve;
 pub use hddm_solver as solver;
+pub use hddm_telemetry as telemetry;
