@@ -83,6 +83,8 @@ fn main() {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             std::hint::black_box(x);
         }
+        // ORDERING: Relaxed — keeps the spin loop's result observable to
+        // the optimizer; the count itself is never read for ordering.
         spun.fetch_add(1, Ordering::Relaxed);
     };
 

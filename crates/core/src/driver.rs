@@ -365,6 +365,8 @@ impl<M: StepModel> TimeIteration<M> {
                     Err(_) => {
                         // Retry from the cold constant guess; fall back to
                         // the warm-start row if the solver fails again.
+                        // ORDERING: Relaxed — retry tally summed after
+                        // the parallel loop joins; atomicity suffices.
                         failure_count.fetch_add(1, Ordering::Relaxed);
                         let cold = model.initial_row();
                         model
@@ -375,6 +377,8 @@ impl<M: StepModel> TimeIteration<M> {
                 rows.write_row(i, &row);
             },
         );
+        // ORDERING: Relaxed — `parallel_for` has joined its workers, so
+        // this is a single-threaded read-out of the tally.
         *failures += failure_count.load(Ordering::Relaxed);
         rows.into_vec()
     }

@@ -204,6 +204,12 @@ fn accum_lanes<const N: usize>(
     }
 }
 
+// SAFETY: caller must ensure the host supports AVX and that for every
+// set bit `k` of `mask`, `temps[k]` exists and
+// `out[k * stride .. k * stride + row.len()]` is in bounds — both are
+// established by the caller's slice indexing (`temps[k]` and the `out`
+// range expression panic before any raw pointer is formed if violated).
+// Inner loops are bounded by `j + 4 <= n` / `j < n` with `n = row.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn accum_avx(temps: &[f64], mut mask: u64, row: &[f64], out: &mut [f64], stride: usize) {
@@ -229,6 +235,8 @@ unsafe fn accum_avx(temps: &[f64], mut mask: u64, row: &[f64], out: &mut [f64], 
     }
 }
 
+// SAFETY: caller must ensure the host supports AVX2+FMA; same per-bit
+// bounds contract and in-bounds argument as [`accum_avx`].
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn accum_avx2(temps: &[f64], mut mask: u64, row: &[f64], out: &mut [f64], stride: usize) {
@@ -254,6 +262,9 @@ unsafe fn accum_avx2(temps: &[f64], mut mask: u64, row: &[f64], out: &mut [f64],
     }
 }
 
+// SAFETY: caller must ensure the host supports AVX-512F; same per-bit
+// bounds contract as [`accum_avx`]. The ragged tail uses masked
+// loads/stores enabling exactly the `n - j < 8` in-bounds lanes.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn accum_avx512(temps: &[f64], mut mask: u64, row: &[f64], out: &mut [f64], stride: usize) {

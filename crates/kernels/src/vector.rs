@@ -262,6 +262,11 @@ pub fn axpy_best(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+// SAFETY: caller must ensure the host supports AVX (the
+// `#[target_feature]` contract) and that `x.len() == y.len()`. All
+// loads/stores stay below `n = x.len()`: the vector loop stops at
+// `k + 4 <= n` and the scalar tail at `k < n`, so `get_unchecked` and
+// the unaligned intrinsics never touch past either slice.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn axpy_avx(a: f64, x: &[f64], y: &mut [f64]) {
@@ -283,6 +288,9 @@ unsafe fn axpy_avx(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+// SAFETY: caller must ensure the host supports AVX2+FMA and that
+// `x.len() == y.len()`; same in-bounds argument as [`axpy_avx`] (vector
+// loop bounded by `k + 4 <= n`, scalar tail by `k < n`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn axpy_avx2(a: f64, x: &[f64], y: &mut [f64]) {
@@ -303,6 +311,11 @@ unsafe fn axpy_avx2(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+// SAFETY: caller must ensure the host supports AVX-512F and that
+// `x.len() == y.len()`. The full-width loop is bounded by `k + 8 <= n`;
+// the tail uses masked loads/stores whose mask `(1 << (n - k)) - 1`
+// enables exactly the `n - k < 8` in-bounds lanes, so no out-of-bounds
+// element is ever touched.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn axpy_avx512(a: f64, x: &[f64], y: &mut [f64]) {

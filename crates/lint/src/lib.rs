@@ -1,0 +1,91 @@
+//! `hddm-lint`: workspace-wide static analysis for the concurrency and
+//! unsafe-code invariants this repo's PRs documented in prose.
+//!
+//! | Rule  | What it enforces |
+//! |-------|------------------|
+//! | HL001 | every `unsafe` carries a `// SAFETY:` comment |
+//! | HL002 | every atomic `Ordering::*` carries `// ORDERING:`; SeqCst must be named |
+//! | HL003 | no guard held across file I/O or a second lock; lock-order cycles |
+//! | HL004 | no `unwrap`/`expect`/panic-macro/guard-indexing while a guard is live |
+//! | HL005 | no `HashMap` iteration into serialization/hash sinks; `hddm_*` naming |
+//!
+//! Dependency-free by design (the scanner is hand-rolled, see
+//! [`scanner`]), so the lint gate cannot be broken by the code it lints.
+
+pub mod analysis;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::Finding;
+
+/// Lints in-memory sources (`(workspace-relative path, contents)`).
+/// This is the whole pipeline minus the filesystem: scan, line rules,
+/// guard/lock analysis, then a stable sort.
+pub fn lint_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let files: Vec<scanner::ScannedFile> = sources
+        .iter()
+        .map(|(path, text)| scanner::scan_source(path, text))
+        .collect();
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(rules::line_rules(file));
+    }
+    findings.extend(analysis::analyze(&files));
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Collects every `.rs` file under `<root>/src` and
+/// `<root>/crates/*/src`, in sorted order (integration `tests/`
+/// directories are intentionally out of scope).
+pub fn collect_workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        dirs.push(top_src);
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let src = entry.join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for dir in dirs {
+        collect_rs_files(root, &dir, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! The `hddm-lint` binary: lint the workspace, diff against the
+//! committed baseline, write the JSON report, exit nonzero on new
+//! findings.
+//!
+//! ```text
+//! hddm-lint [--root DIR] [--baseline FILE] [--out FILE]
+//! ```
+//!
+//! Exit codes: 0 clean (new findings: none), 1 new findings, 2 usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hddm_lint::report;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |name: &str| match args.next() {
+            Some(v) => Ok(PathBuf::from(v)),
+            None => Err(format!("{name} requires a value")),
+        };
+        let result = match arg.as_str() {
+            "--root" => grab("--root").map(|v| root = v),
+            "--baseline" => grab("--baseline").map(|v| baseline_path = Some(v)),
+            "--out" => grab("--out").map(|v| out_path = Some(v)),
+            "--help" | "-h" => {
+                println!("usage: hddm-lint [--root DIR] [--baseline FILE] [--out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = result {
+            eprintln!("hddm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let sources = match hddm_lint::collect_workspace_sources(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hddm-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = hddm_lint::lint_sources(&sources);
+
+    let baseline = match &baseline_path {
+        None => Vec::new(),
+        Some(p) => match std::fs::read_to_string(p)
+            .map_err(|e| e.to_string())
+            .and_then(|t| report::parse_baseline(&t))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("hddm-lint: baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let diff = report::diff(&findings, &baseline);
+    let rendered = report::render_report(&diff);
+    if let Some(out) = &out_path {
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("hddm-lint: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    eprintln!(
+        "hddm-lint: {} file(s), {} finding(s): {} new, {} baselined, {} stale baseline entr{}",
+        sources.len(),
+        findings.len(),
+        diff.new.len(),
+        diff.baselined.len(),
+        diff.stale.len(),
+        if diff.stale.len() == 1 { "y" } else { "ies" },
+    );
+    for f in &diff.new {
+        eprintln!(
+            "  NEW {} {}:{} [{}] {}",
+            f.rule, f.file, f.line, f.function, f.detail
+        );
+    }
+    for b in &diff.stale {
+        eprintln!("  STALE baseline entry (code fixed? prune it): {}", b.key());
+    }
+    if diff.new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

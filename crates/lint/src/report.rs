@@ -1,0 +1,373 @@
+//! Findings, the JSON report, and the committed-baseline workflow.
+//!
+//! A finding's **key** is `rule|file|function|detail` — deliberately
+//! line-free so routine edits that shift code do not invalidate the
+//! baseline. `lint-baseline.json` holds accepted keys, each with a
+//! human rationale; anything the analyzer reports that is not in the
+//! baseline is *new* and fails the gate.
+//!
+//! The JSON writer/reader here is hand-rolled (a strict subset of JSON:
+//! objects, arrays, strings, integers) so the lint binary has zero
+//! dependencies on the code it lints.
+
+use std::fmt::Write as _;
+
+/// One static-analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub rule: String,
+    pub file: String,
+    pub function: String,
+    pub line: usize,
+    pub detail: String,
+}
+
+impl Finding {
+    /// The stable baseline key (no line number).
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.rule, self.file, self.function, self.detail
+        )
+    }
+}
+
+/// One accepted finding in `lint-baseline.json`.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub function: String,
+    pub detail: String,
+    pub rationale: String,
+}
+
+impl BaselineEntry {
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.rule, self.file, self.function, self.detail
+        )
+    }
+}
+
+/// The outcome of diffing findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    pub new: Vec<Finding>,
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that no longer match anything (stale — the
+    /// underlying code was fixed; prune them).
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Splits findings into new vs baselined and reports stale entries.
+pub fn diff(findings: &[Finding], baseline: &[BaselineEntry]) -> Diff {
+    let keys: std::collections::BTreeSet<String> = baseline.iter().map(|b| b.key()).collect();
+    let mut hit: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut out = Diff::default();
+    for f in findings {
+        if keys.contains(&f.key()) {
+            hit.insert(f.key());
+            out.baselined.push(f.clone());
+        } else {
+            out.new.push(f.clone());
+        }
+    }
+    out.stale = baseline
+        .iter()
+        .filter(|b| !hit.contains(&b.key()))
+        .cloned()
+        .collect();
+    out
+}
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders the findings report (pretty-printed, stable order).
+pub fn render_report(diff: &Diff) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n");
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{ \"new\": {}, \"baselined\": {}, \"stale_baseline_entries\": {} }},",
+        diff.new.len(),
+        diff.baselined.len(),
+        diff.stale.len()
+    );
+    for (field, list) in [("new", &diff.new), ("baselined", &diff.baselined)] {
+        let _ = writeln!(out, "  \"{field}\": [");
+        for (i, f) in list.iter().enumerate() {
+            out.push_str("    { \"rule\": ");
+            esc(&mut out, &f.rule);
+            out.push_str(", \"file\": ");
+            esc(&mut out, &f.file);
+            out.push_str(", \"function\": ");
+            esc(&mut out, &f.function);
+            let _ = write!(out, ", \"line\": {}, \"detail\": ", f.line);
+            esc(&mut out, &f.detail);
+            out.push_str(" }");
+            if i + 1 < list.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
+    out.push_str("  \"stale\": [\n");
+    for (i, b) in diff.stale.iter().enumerate() {
+        out.push_str("    ");
+        esc(&mut out, &b.key());
+        if i + 1 < diff.stale.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---- minimal JSON reader (objects / arrays / strings / integers) ----
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(i64),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn ws(&mut self) {
+        while self.at < self.b.len() && self.b[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.b.get(self.at) {
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.ws();
+                    if self.b.get(self.at) == Some(&b']') {
+                        self.at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    items.push(self.value()?);
+                    self.ws();
+                    if self.b.get(self.at) == Some(&b',') {
+                        self.at += 1;
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                loop {
+                    self.ws();
+                    if self.b.get(self.at) == Some(&b'}') {
+                        self.at += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    let key = self.string()?;
+                    self.ws();
+                    if self.b.get(self.at) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {}", self.at));
+                    }
+                    self.at += 1;
+                    fields.push((key, self.value()?));
+                    self.ws();
+                    if self.b.get(self.at) == Some(&b',') {
+                        self.at += 1;
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = self.at;
+                self.at += 1;
+                while self.b.get(self.at).is_some_and(|c| c.is_ascii_digit()) {
+                    self.at += 1;
+                }
+                std::str::from_utf8(&self.b[start..self.at])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            other => Err(format!("unexpected {other:?} at byte {}", self.at)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.ws();
+        if self.b.get(self.at) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", self.at));
+        }
+        self.at += 1;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.at) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.b.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid codepoint")?);
+                            self.at += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    let rest =
+                        std::str::from_utf8(&self.b[self.at..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("bad utf8")?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Parses `lint-baseline.json`:
+/// `{ "accepted": [ { "rule": ..., "file": ..., "function": ...,
+///   "detail": ..., "rationale": ... }, ... ] }`.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut r = Reader {
+        b: text.as_bytes(),
+        at: 0,
+    };
+    let root = r.value()?;
+    let accepted = root
+        .get("accepted")
+        .ok_or("baseline missing \"accepted\" array")?;
+    let Json::Arr(items) = accepted else {
+        return Err("\"accepted\" is not an array".into());
+    };
+    let mut out = Vec::new();
+    for (idx, item) in items.iter().enumerate() {
+        let field = |name: &str| -> Result<String, String> {
+            item.get(name)
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("accepted[{idx}] missing string field {name:?}"))
+        };
+        out.push(BaselineEntry {
+            rule: field("rule")?,
+            file: field("file")?,
+            function: field("function")?,
+            detail: field("detail")?,
+            rationale: field("rationale")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, detail: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: "crates/x/src/a.rs".into(),
+            function: "f".into(),
+            line: 7,
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_diff() {
+        let text = r#"{ "accepted": [
+            { "rule": "HL004", "file": "crates/x/src/a.rs", "function": "f",
+              "detail": "old one", "rationale": "known benign" },
+            { "rule": "HL003", "file": "crates/x/src/a.rs", "function": "g",
+              "detail": "fixed since", "rationale": "stale" }
+        ] }"#;
+        let baseline = parse_baseline(text).unwrap();
+        assert_eq!(baseline.len(), 2);
+        let findings = vec![finding("HL004", "old one"), finding("HL001", "brand new")];
+        let d = diff(&findings, &baseline);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].detail, "brand new");
+        assert_eq!(d.baselined.len(), 1);
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].detail, "fixed since");
+    }
+
+    #[test]
+    fn report_renders_and_escapes() {
+        let d = diff(&[finding("HL002", "uses `Ordering::SeqCst` \"raw\"")], &[]);
+        let text = render_report(&d);
+        assert!(text.contains("\\\"raw\\\""));
+        assert!(text.contains("\"new\": 1"));
+    }
+
+    #[test]
+    fn baseline_rejects_malformed() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline(r#"{ "accepted": [ { "rule": "HL001" } ] }"#).is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+}

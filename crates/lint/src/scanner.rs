@@ -1,0 +1,450 @@
+//! A hand-rolled, comment/string/raw-string-aware Rust source scanner.
+//!
+//! The environment is offline, so `hddm-lint` cannot depend on `syn`;
+//! instead this module separates every source line into its *code* part
+//! (with literal contents blanked so later passes never match tokens
+//! inside strings) and its *comment* part (where `SAFETY:`/`ORDERING:`
+//! justifications live). The scanner understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! - string literals with escapes, byte strings, and raw strings
+//!   `r#"..."#` with any number of `#` marks,
+//! - char and byte-char literals (including `'\''` and `'{'`),
+//! - lifetime ticks (`&'a str`, `'static`), which must not be confused
+//!   with char literals.
+//!
+//! It also marks lines inside `#[cfg(test)] mod` regions so rules can
+//! skip test-only code (integration `tests/` directories are never
+//! walked at all).
+
+/// One scanned source line, split into code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// The code on this line with comments removed and the *contents* of
+    /// string/char literals blanked (delimiters preserved as `""` / `'_'`
+    /// so statement structure survives).
+    pub code: String,
+    /// Concatenated comment text appearing on this line (line comments
+    /// and any part of a block comment).
+    pub comment: String,
+    /// Contents of string literals that *start* on this line, in order.
+    pub strings: Vec<String>,
+    /// True when the line sits inside a `#[cfg(test)] mod { ... }`.
+    pub in_test: bool,
+}
+
+/// A scanned file: the workspace-relative path plus its lines.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    pub path: String,
+    pub lines: Vec<ScannedLine>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested block comment with its current depth.
+    BlockComment(u32),
+    /// String literal; `hashes` is `Some(n)` for raw strings `r#..#"`.
+    Str {
+        hashes: Option<u32>,
+    },
+    CharLit,
+}
+
+/// Scans `text` (the contents of `path`) into per-line code/comment
+/// channels. Never panics on malformed input: unterminated constructs
+/// simply run to end of file in their current mode.
+pub fn scan_source(path: &str, text: &str) -> ScannedFile {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines: Vec<ScannedLine> = Vec::new();
+    let mut line = ScannedLine::default();
+    let mut mode = Mode::Code;
+    // Line index where the currently-open string literal started.
+    let mut str_start_line = 0usize;
+    let mut str_buf = String::new();
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {{
+            lines.push(std::mem::take(&mut line));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            if matches!(mode, Mode::Str { .. }) {
+                str_buf.push('\n');
+            }
+            newline!();
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    line.comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                        line.comment.push_str("*/");
+                    }
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str { hashes } => {
+                match hashes {
+                    None => {
+                        if c == '\\' {
+                            // Consume the escape head; the payload chars
+                            // (e.g. `u{1F600}`) are plain content.
+                            if let Some(&next) = chars.get(i + 1) {
+                                str_buf.push(c);
+                                if next != '\n' {
+                                    str_buf.push(next);
+                                }
+                                i += 2;
+                                if next == '\n' {
+                                    newline!();
+                                }
+                                continue;
+                            }
+                            i += 1;
+                        } else if c == '"' {
+                            close_string(&mut lines, &mut line, str_start_line, &mut str_buf);
+                            mode = Mode::Code;
+                            i += 1;
+                        } else {
+                            str_buf.push(c);
+                            i += 1;
+                        }
+                    }
+                    Some(n) => {
+                        // Raw string: ends only at `"` followed by n `#`s.
+                        if c == '"' && count_hashes(&chars, i + 1) >= n {
+                            close_string(&mut lines, &mut line, str_start_line, &mut str_buf);
+                            mode = Mode::Code;
+                            i += 1 + n as usize;
+                        } else {
+                            str_buf.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    i += 2; // escape: skip the escaped char too
+                } else if c == '\'' {
+                    line.code.push_str("'_'");
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                let prev_is_ident = line
+                    .code
+                    .chars()
+                    .last()
+                    .is_some_and(|p| p.is_ascii_alphanumeric() || p == '_');
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Str { hashes: None };
+                    str_start_line = lines.len();
+                    str_buf.clear();
+                    line.code.push_str("\"\"");
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident {
+                    // Possible raw/byte string or byte char: r" r#" b" b' br" br#"
+                    let mut j = i + 1;
+                    let mut is_raw = c == 'r';
+                    if c == 'b' && (chars.get(j) == Some(&'r')) {
+                        is_raw = true;
+                        j += 1;
+                    }
+                    if is_raw {
+                        let n = count_hashes(&chars, j);
+                        if chars.get(j + n as usize) == Some(&'"') {
+                            mode = Mode::Str { hashes: Some(n) };
+                            str_start_line = lines.len();
+                            str_buf.clear();
+                            line.code.push_str("\"\"");
+                            i = j + n as usize + 1;
+                            continue;
+                        }
+                    }
+                    if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        mode = Mode::Str { hashes: None };
+                        str_start_line = lines.len();
+                        str_buf.clear();
+                        line.code.push_str("\"\"");
+                        i += 2;
+                        continue;
+                    }
+                    if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        mode = Mode::CharLit;
+                        i += 2;
+                        continue;
+                    }
+                    line.code.push(c);
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal or lifetime tick. A char literal is
+                    // `'\...'` or `'x'`; anything else (`'a`, `'static`)
+                    // is a lifetime and stays in the code channel.
+                    let next = chars.get(i + 1).copied();
+                    let after = chars.get(i + 2).copied();
+                    if next == Some('\\') || (next.is_some() && after == Some('\'')) {
+                        mode = Mode::CharLit;
+                        i += 1;
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(line);
+    let mut file = ScannedFile {
+        path: path.to_string(),
+        lines,
+    };
+    mark_test_regions(&mut file);
+    file
+}
+
+fn count_hashes(chars: &[char], from: usize) -> u32 {
+    let mut n = 0u32;
+    while chars.get(from + n as usize) == Some(&'#') {
+        n += 1;
+    }
+    n
+}
+
+/// Attaches a finished string literal's content to the line it started
+/// on (which may already be committed to `lines` for multi-line strings).
+fn close_string(
+    lines: &mut [ScannedLine],
+    current: &mut ScannedLine,
+    start_line: usize,
+    buf: &mut String,
+) {
+    let content = std::mem::take(buf);
+    match lines.get_mut(start_line) {
+        Some(l) => l.strings.push(content),
+        None => current.strings.push(content),
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)] mod ... { }` region with
+/// `in_test`, so rules skip test-only code. Attribute and comment lines
+/// may sit between the `#[cfg(test)]` and the `mod` line.
+fn mark_test_regions(file: &mut ScannedFile) {
+    let mut depth: i64 = 0;
+    // When inside a test mod, the depth *above which* we stay inside.
+    let mut test_floor: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    for line in file.lines.iter_mut() {
+        if test_floor.is_some() {
+            line.in_test = true;
+        }
+        let trimmed = line.code.trim();
+        let is_test_mod_decl = pending_cfg_test
+            && test_floor.is_none()
+            && trimmed.starts_with("mod ")
+            && trimmed.contains('{');
+        if is_test_mod_decl {
+            line.in_test = true;
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if is_test_mod_decl && test_floor.is_none() {
+                        test_floor = Some(depth);
+                        pending_cfg_test = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = test_floor {
+                        if depth < floor {
+                            test_floor = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if !trimmed.is_empty() && !trimmed.starts_with("#[") && !is_test_mod_decl {
+            // Any other code line breaks the attribute→mod adjacency.
+            pending_cfg_test = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> ScannedFile {
+        scan_source("test.rs", text)
+    }
+
+    #[test]
+    fn line_comment_split() {
+        let f = scan("let x = 1; // SAFETY: trailing\nlet y = 2;");
+        assert_eq!(f.lines[0].code, "let x = 1; ");
+        assert_eq!(f.lines[0].comment, " SAFETY: trailing");
+        assert_eq!(f.lines[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("a /* outer /* inner */ still comment */ b");
+        assert_eq!(f.lines[0].code, "a  b");
+        assert!(f.lines[0].comment.contains("inner"));
+        assert!(f.lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let f = scan("x /* one\ntwo */ y");
+        assert_eq!(f.lines[0].code, "x ");
+        assert_eq!(f.lines[0].comment, " one");
+        assert_eq!(f.lines[1].code, " y");
+        assert_eq!(f.lines[1].comment, "two ");
+    }
+
+    #[test]
+    fn string_with_comment_markers_is_blanked() {
+        let f = scan(r#"let s = "// not a comment /* nope */";"#);
+        assert_eq!(f.lines[0].code, r#"let s = "";"#);
+        assert!(f.lines[0].comment.is_empty());
+        assert_eq!(f.lines[0].strings, vec!["// not a comment /* nope */"]);
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let f = scan(r#"let s = "he said \"hi\" // ok";"#);
+        assert_eq!(f.lines[0].code, r#"let s = "";"#);
+        assert_eq!(f.lines[0].strings, vec![r#"he said \"hi\" // ok"#]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        let f = scan(r###"let s = r##"raw "# // inside"##; let t = r"no hash";"###);
+        assert_eq!(f.lines[0].code, r#"let s = ""; let t = "";"#);
+        assert_eq!(f.lines[0].strings.len(), 2);
+        assert_eq!(f.lines[0].strings[0], r##"raw "# // inside"##);
+        assert_eq!(f.lines[0].strings[1], "no hash");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let f = scan(r#"let a = b"bytes // x"; let b = b'\''; let c = b'a';"#);
+        assert_eq!(f.lines[0].code, r#"let a = ""; let b = '_'; let c = '_';"#);
+        assert_eq!(f.lines[0].strings, vec!["bytes // x"]);
+    }
+
+    #[test]
+    fn char_literals_with_quotes_and_slashes() {
+        let f = scan(r#"let q = '\''; let s = '/'; let n = '\n'; x /= 2;"#);
+        assert_eq!(
+            f.lines[0].code,
+            "let q = '_'; let s = '_'; let n = '_'; x /= 2;"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert_eq!(
+            f.lines[0].code,
+            "fn f<'a>(x: &'a str) -> &'static str { x }"
+        );
+    }
+
+    #[test]
+    fn lifetime_then_char_literal_on_one_line() {
+        let f = scan(r#"fn g<'a>(c: char) -> bool { c == 'z' || c == '\\' }"#);
+        assert_eq!(
+            f.lines[0].code,
+            "fn g<'a>(c: char) -> bool { c == '_' || c == '_' }"
+        );
+    }
+
+    #[test]
+    fn multiline_string_attaches_to_start_line() {
+        let f = scan("let s = \"line one\nline two\";\nlet t = 3;");
+        assert_eq!(f.lines[0].code, "let s = \"\"");
+        assert_eq!(f.lines[0].strings, vec!["line one\nline two"]);
+        assert_eq!(f.lines[1].code, ";");
+        assert_eq!(f.lines[2].code, "let t = 3;");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_or_b_is_not_a_prefix() {
+        let f = scan(r#"let var = other"#);
+        assert_eq!(f.lines[0].code, "let var = other");
+        let f = scan(r#"let sub = grab"test""#);
+        // `grab"test"` is not valid Rust but the b must not eat the string.
+        assert_eq!(f.lines[0].strings, vec!["test"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.lock(); }\n}\nfn after() {}";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_fn_does_not_open_region() {
+        let src = "#[cfg(test)]\nfn helper() {}\nfn live() { x.lock(); }";
+        let f = scan(src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        scan("let s = \"unterminated");
+        scan("/* never closed");
+        scan("let c = '");
+        scan("r#\"open");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the hand-rolled token scanner: sources are
+//! assembled from random fragments with channel-marked payloads (code
+//! says `zq`, comments say `km`, strings say `xs`), and the scanner must
+//! route every payload to its own channel — comment text and string
+//! bodies never leak into the code channel, code never leaks into the
+//! comment channel, whatever the mix of nested block comments, raw
+//! strings, char/byte literals, and lifetime ticks around them.
+
+use hddm_lint::scanner::scan_source;
+use proptest::prelude::*;
+
+/// One source fragment plus the channel its payload must land in.
+#[derive(Clone, Debug, PartialEq)]
+enum Frag {
+    Code(String),
+    LineComment(String),
+    BlockComment(String),
+    NestedComment(String),
+    Str(String),
+    RawStr(String),
+    CharLit,
+    QuoteCharLit,
+    ByteCharLit,
+    Lifetime,
+    Newline,
+}
+
+fn frag_strategy() -> impl Strategy<Value = Frag> {
+    (0u32..11, 0u32..1000).prop_map(|(kind, n)| match kind {
+        0 => Frag::Code(format!("zq{n}")),
+        1 => Frag::LineComment(format!("km{n} 'tick \" /* open")),
+        2 => Frag::BlockComment(format!("km{n} \" ' //")),
+        3 => Frag::NestedComment(format!("km{n}")),
+        4 => Frag::Str(format!("xs{n} // 'tick not code")),
+        5 => Frag::RawStr(format!("xs{n} \" // unescaped quote")),
+        6 => Frag::CharLit,
+        7 => Frag::QuoteCharLit,
+        8 => Frag::ByteCharLit,
+        9 => Frag::Lifetime,
+        _ => Frag::Newline,
+    })
+}
+
+fn render(frags: &[Frag]) -> String {
+    let mut src = String::new();
+    for f in frags {
+        match f {
+            Frag::Code(t) => src.push_str(t),
+            Frag::LineComment(t) => {
+                // A line comment swallows the rest of the line; close it.
+                src.push_str(&format!("// {t}\n"));
+            }
+            Frag::BlockComment(t) => src.push_str(&format!("/* {t} */")),
+            Frag::NestedComment(t) => src.push_str(&format!("/* {t} /* {t} */ {t} */")),
+            Frag::Str(t) => {
+                // Escape the payload's quotes/backslashes so the literal
+                // stays well-formed.
+                let escaped = t.replace('\\', "\\\\").replace('"', "\\\"");
+                src.push_str(&format!("\"{escaped}\""));
+            }
+            Frag::RawStr(t) => src.push_str(&format!("r#\"{t}\"#")),
+            Frag::CharLit => src.push_str("'x'"),
+            Frag::QuoteCharLit => src.push_str("'\\''"),
+            Frag::ByteCharLit => src.push_str("b'/'"),
+            Frag::Lifetime => src.push_str("&'lt"),
+            Frag::Newline => src.push('\n'),
+        }
+        src.push(' ');
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256).with_rng_seed(0x11dd))]
+
+    #[test]
+    fn channels_never_cross(frags in proptest::collection::vec(frag_strategy(), 0..40)) {
+        let src = render(&frags);
+        let scanned = scan_source("crates/x/src/lib.rs", &src);
+
+        // Line structure is preserved exactly.
+        prop_assert_eq!(scanned.lines.len(), src.lines().count().max(1));
+
+        let code: String = scanned.lines.iter().map(|l| l.code.as_str()).collect();
+        let comment: String =
+            scanned.lines.iter().map(|l| format!("{} ", l.comment)).collect();
+        let strings: String = scanned
+            .lines
+            .iter()
+            .flat_map(|l| l.strings.iter().map(|s| s.as_str()))
+            .collect();
+
+        // Comment payloads stay out of the code and string channels.
+        prop_assert!(!code.contains("km"), "comment leaked into code: {code:?}");
+        prop_assert!(!strings.contains("km"), "comment leaked into strings: {strings:?}");
+        // String payloads stay out of the code and comment channels.
+        prop_assert!(!code.contains("xs"), "string leaked into code: {code:?}");
+        prop_assert!(!comment.contains("xs"), "string leaked into comments: {comment:?}");
+        // Code payloads stay out of the comment and string channels.
+        prop_assert!(!comment.contains("zq"), "code leaked into comments: {comment:?}");
+        prop_assert!(!strings.contains("zq"), "code leaked into strings: {strings:?}");
+
+        // Every payload arrives on its own channel (none silently dropped).
+        for f in &frags {
+            match f {
+                Frag::Code(t) => prop_assert!(code.contains(t.as_str()), "missing code {t:?}"),
+                Frag::LineComment(t)
+                | Frag::BlockComment(t)
+                | Frag::NestedComment(t) => {
+                    prop_assert!(comment.contains(t.as_str()), "missing comment {t:?}")
+                }
+                Frag::Str(t) | Frag::RawStr(t) => {
+                    prop_assert!(strings.contains(t.as_str()), "missing string {t:?}")
+                }
+                // Lifetime ticks are code, not the start of a char
+                // literal: the identifier after the tick must survive.
+                Frag::Lifetime => prop_assert!(code.contains("lt"), "lifetime eaten: {code:?}"),
+                Frag::CharLit | Frag::QuoteCharLit | Frag::ByteCharLit | Frag::Newline => {}
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        frags in proptest::collection::vec(frag_strategy(), 0..24),
+        cut in 0usize..2048,
+    ) {
+        // Sources are pure ASCII, so any byte index is a char boundary;
+        // a truncated (unterminated) construct must scan without panic
+        // and still preserve the line structure.
+        let src = render(&frags);
+        let cut = cut.min(src.len());
+        let truncated = &src[..cut];
+        let scanned = scan_source("crates/x/src/lib.rs", truncated);
+        prop_assert_eq!(scanned.lines.len(), truncated.lines().count().max(1));
+    }
+
+    #[test]
+    fn scanning_is_deterministic(frags in proptest::collection::vec(frag_strategy(), 0..24)) {
+        let src = render(&frags);
+        let a = scan_source("crates/x/src/lib.rs", &src);
+        let b = scan_source("crates/x/src/lib.rs", &src);
+        prop_assert_eq!(a.lines.len(), b.lines.len());
+        for (la, lb) in a.lines.iter().zip(&b.lines) {
+            prop_assert_eq!(&la.code, &lb.code);
+            prop_assert_eq!(&la.comment, &lb.comment);
+            prop_assert_eq!(&la.strings, &lb.strings);
+        }
+    }
+}

@@ -361,10 +361,16 @@ impl SurfaceCache {
         m.persisted_bytes.set(persisted_bytes);
         m.evictions.set(evictions as u64);
         m.skipped.set(skipped as u64);
+        // ORDERING: Relaxed — recovery tally scrape; staleness by an
+        // in-flight recovery is acceptable for exposition.
+        let poisonings = self.inner.lock_poisonings.load(Ordering::Relaxed);
         m.lock_poisonings
-            .set((self.inner.lock_poisonings.load(Ordering::Relaxed) + store_poisonings) as u64);
-        m.restores_peak
-            .set(self.inner.restore_peak.load(Ordering::SeqCst) as u64);
+            .set((poisonings + store_poisonings) as u64);
+        // ORDERING: Relaxed — the peak is maintained by atomic fetch_max
+        // (RMWs on one atomic are totally ordered); this scrape infers
+        // nothing about other memory from the value.
+        let peak = self.inner.restore_peak.load(Ordering::Relaxed);
+        m.restores_peak.set(peak as u64);
     }
 
     /// Opens a cache backed by the persistent directory `dir` (created if
@@ -455,6 +461,7 @@ impl SurfaceCache {
 
     fn recover_rw_read<'a, T>(&self, lock: &'a RwLock<T>) -> RwLockReadGuard<'a, T> {
         lock.read().unwrap_or_else(|poisoned| {
+            // ORDERING: Relaxed — recovery tally; no ordering dependency.
             self.inner.lock_poisonings.fetch_add(1, Ordering::Relaxed);
             lock.clear_poison();
             poisoned.into_inner()
@@ -463,6 +470,7 @@ impl SurfaceCache {
 
     fn recover_rw_write<'a, T>(&self, lock: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
         lock.write().unwrap_or_else(|poisoned| {
+            // ORDERING: Relaxed — recovery tally; no ordering dependency.
             self.inner.lock_poisonings.fetch_add(1, Ordering::Relaxed);
             lock.clear_poison();
             poisoned.into_inner()
@@ -471,6 +479,7 @@ impl SurfaceCache {
 
     fn recover_mutex<'a, T>(&self, lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
         lock.lock().unwrap_or_else(|poisoned| {
+            // ORDERING: Relaxed — recovery tally; no ordering dependency.
             self.inner.lock_poisonings.fetch_add(1, Ordering::Relaxed);
             lock.clear_poison();
             poisoned.into_inner()
@@ -523,6 +532,7 @@ impl SurfaceCache {
                                 .inflight_cv
                                 .wait(inflight)
                                 .unwrap_or_else(|poisoned| {
+                                    // ORDERING: Relaxed — recovery tally.
                                     self.inner.lock_poisonings.fetch_add(1, Ordering::Relaxed);
                                     self.inner.inflight.clear_poison();
                                     poisoned.into_inner()
@@ -573,12 +583,20 @@ impl SurfaceCache {
         struct GaugeGuard<'a>(&'a CacheInner);
         impl Drop for GaugeGuard<'_> {
             fn drop(&mut self) {
-                self.0.restoring_now.fetch_sub(1, Ordering::SeqCst);
+                // ORDERING: Relaxed — the in-flight count is exact by
+                // RMW atomicity alone; nothing is published through it.
+                self.0.restoring_now.fetch_sub(1, Ordering::Relaxed);
             }
         }
-        let now = self.inner.restoring_now.fetch_add(1, Ordering::SeqCst) + 1;
+        // ORDERING: Relaxed — RMWs on one atomic are totally ordered, so
+        // `now` is the exact number of concurrent restorers; order
+        // against unrelated memory is irrelevant (downgraded from
+        // SeqCst, which bought nothing here).
+        let now = self.inner.restoring_now.fetch_add(1, Ordering::Relaxed) + 1;
         let _gauge = GaugeGuard(&self.inner);
-        self.inner.restore_peak.fetch_max(now, Ordering::SeqCst);
+        // ORDERING: Relaxed — atomic fetch_max maintains the peak
+        // exactly; no reader infers other state from it.
+        self.inner.restore_peak.fetch_max(now, Ordering::Relaxed);
         let hook = self.recover_rw_read(&self.inner.restore_hook).clone();
         if let Some(hook) = hook {
             hook(hash);
@@ -594,6 +612,9 @@ impl SurfaceCache {
                 let arc = Arc::new(surface);
                 let mut shard = self.shard_write(shard_of(hash));
                 let entry = shard.by_hash.entry(hash).or_insert_with(|| ShardEntry {
+                    // ORDERING: Relaxed — sequence uniqueness comes from
+                    // RMW atomicity; insertion order is guarded by the
+                    // shard's write lock, not by this atomic.
                     seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
                     surface: Arc::clone(&arc),
                 });
@@ -853,6 +874,8 @@ impl SurfaceCache {
             match shard.by_hash.get_mut(&hash) {
                 Some(entry) => entry.surface = Arc::clone(&surface), // keep the eviction slot
                 None => {
+                    // ORDERING: Relaxed — uniqueness by RMW atomicity;
+                    // the shard write lock orders the insertion itself.
                     let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
                     shard.by_hash.insert(
                         hash,

@@ -164,6 +164,8 @@ pub fn legacy_surface_file_name(hash: u64) -> String {
 /// concurrently must not collide on the temp path.
 fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), String> {
     static TMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
+    // ORDERING: Relaxed — temp-name uniqueness needs only RMW atomicity;
+    // no other memory is synchronized through the counter.
     let unique = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
     let tmp = dir.join(format!(".tmp-{}-{unique}-{name}", std::process::id()));
     let target = dir.join(name);
@@ -303,6 +305,7 @@ impl Store {
 
     fn index_read(&self) -> std::sync::RwLockReadGuard<'_, Vec<ManifestEntry>> {
         self.index.read().unwrap_or_else(|poisoned| {
+            // ORDERING: Relaxed — recovery tally; no ordering dependency.
             self.poisonings.fetch_add(1, Ordering::Relaxed);
             self.index.clear_poison();
             poisoned.into_inner()
@@ -311,6 +314,7 @@ impl Store {
 
     fn index_write(&self) -> std::sync::RwLockWriteGuard<'_, Vec<ManifestEntry>> {
         self.index.write().unwrap_or_else(|poisoned| {
+            // ORDERING: Relaxed — recovery tally; no ordering dependency.
             self.poisonings.fetch_add(1, Ordering::Relaxed);
             self.index.clear_poison();
             poisoned.into_inner()
@@ -319,6 +323,7 @@ impl Store {
 
     fn writer_lock(&self) -> std::sync::MutexGuard<'_, ()> {
         self.writer.lock().unwrap_or_else(|poisoned| {
+            // ORDERING: Relaxed — recovery tally; no ordering dependency.
             self.poisonings.fetch_add(1, Ordering::Relaxed);
             self.writer.clear_poison();
             poisoned.into_inner()
@@ -327,6 +332,7 @@ impl Store {
 
     /// Poisoned store locks recovered over this store's lifetime.
     pub fn poisonings(&self) -> usize {
+        // ORDERING: Relaxed — statistics read; staleness is acceptable.
         self.poisonings.load(Ordering::Relaxed)
     }
 
@@ -347,12 +353,14 @@ impl Store {
 
     /// Entries evicted over this store's lifetime.
     pub fn evictions(&self) -> usize {
+        // ORDERING: Relaxed — statistics read; staleness is acceptable.
         self.evictions.load(Ordering::Relaxed)
     }
 
     /// Corrupt / version-mismatched artifacts skipped over this store's
     /// lifetime.
     pub fn skipped(&self) -> usize {
+        // ORDERING: Relaxed — statistics read; staleness is acceptable.
         self.skipped.load(Ordering::Relaxed)
     }
 
@@ -439,6 +447,7 @@ impl Store {
             }
         };
         let _ = fs::remove_file(self.dir.join(&gone.file));
+        // ORDERING: Relaxed — statistics tally; no ordering dependency.
         self.skipped.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = self.write_manifest() {
             warn(&format!("failed to rewrite cache manifest: {e}"));
@@ -472,6 +481,7 @@ impl Store {
 
         let _writer = self.writer_lock();
         let mut evicted = Vec::new();
+        let mut evicted_files: Vec<String> = Vec::new();
         let mut replaced_file: Option<String> = None;
         {
             let mut index = self.index_write();
@@ -498,10 +508,20 @@ impl Store {
                     break;
                 }
                 let gone = index.remove(0);
-                let _ = fs::remove_file(self.dir.join(&gone.file));
+                // ORDERING: Relaxed — statistics tally; the index update
+                // itself is ordered by the RwLock write guard.
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 evicted.push(gone.hash.0);
+                evicted_files.push(gone.file);
             }
+        }
+        // Evicted record files are deleted only after the index guard is
+        // gone: readers (`load`) share that RwLock and must never block
+        // on disk I/O. The writer mutex still serializes the deletions
+        // with the manifest rewrite below, so a crash between the two
+        // leaves at worst an orphaned file, never a dangling index row.
+        for file in &evicted_files {
+            let _ = fs::remove_file(self.dir.join(file));
         }
 
         // A budget smaller than a single surface evicts the deposit

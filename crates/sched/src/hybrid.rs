@@ -102,10 +102,15 @@ where
                         for i in chunk.lo..chunk.hi {
                             cpu_task(i);
                         }
+                        // ORDERING: Relaxed — per-worker load statistic,
+                        // read only after the scope joins.
                         counter.fetch_add(chunk.len(), Ordering::Relaxed);
                     }
                     Steal::Retry => std::hint::spin_loop(),
                     Steal::Empty => {
+                        // ORDERING: Acquire — pairs with RetireGuard's
+                        // AcqRel decrement: observing zero must make the
+                        // retired chunks' writes visible before exit.
                         if remaining.load(Ordering::Acquire) == 0 {
                             break;
                         }
@@ -142,6 +147,8 @@ where
                     }
                 }
                 if grabbed.is_empty() {
+                    // ORDERING: Acquire — same pairing as the CPU
+                    // workers' exit check above.
                     if remaining.load(Ordering::Acquire) == 0 {
                         break;
                     }
@@ -164,13 +171,18 @@ where
                     } else {
                         accel_task(run);
                         dispatched += run.len();
+                        // ORDERING: Relaxed — dispatch statistic, read
+                        // only after the scope joins.
                         accel_batches.fetch_add(1, Ordering::Relaxed);
                         run = chunk;
                     }
                 }
                 accel_task(run);
                 dispatched += run.len();
+                // ORDERING: Relaxed — dispatch statistics, read only
+                // after the scope joins.
                 accel_batches.fetch_add(1, Ordering::Relaxed);
+                // ORDERING: Relaxed — as above.
                 accel_items.fetch_add(dispatched, Ordering::Relaxed);
             });
         }
@@ -179,9 +191,13 @@ where
     HybridStats {
         cpu_items: cpu_counters
             .iter()
+            // ORDERING: Relaxed — workers have joined (scope ended);
+            // single-threaded read-out of their counters.
             .map(|c| c.load(Ordering::Relaxed))
             .collect(),
+        // ORDERING: Relaxed — post-join read-out, as above.
         accel_items: accel_items.load(Ordering::Relaxed),
+        // ORDERING: Relaxed — post-join read-out, as above.
         accel_batches: accel_batches.load(Ordering::Relaxed),
     }
 }

@@ -86,6 +86,10 @@ pub(crate) struct RetireGuard<'a>(pub(crate) &'a AtomicUsize);
 
 impl Drop for RetireGuard<'_> {
     fn drop(&mut self) {
+        // ORDERING: AcqRel — Release publishes the chunk's writes to the
+        // peer that observes the counter hit zero (its Acquire load in
+        // the steal loop), and Acquire keeps this retire from being
+        // reordered before the task's own reads complete.
         self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -173,6 +177,8 @@ where
                     match chunk {
                         Some(chunk) => {
                             if stolen {
+                                // ORDERING: Relaxed — per-worker load
+                                // statistic, read only after join.
                                 steals.fetch_add(1, Ordering::Relaxed);
                             }
                             // Decrement on unwind too: if a task panics,
@@ -183,9 +189,15 @@ where
                             for i in chunk.lo..chunk.hi {
                                 task(&mut state, i);
                             }
+                            // ORDERING: Relaxed — per-worker load
+                            // statistic, read only after join.
                             items.fetch_add(chunk.len(), Ordering::Relaxed);
                         }
                         None => {
+                            // ORDERING: Acquire — pairs with the AcqRel
+                            // retire in `RetireGuard::drop`; seeing zero
+                            // here must also make every retired chunk's
+                            // writes visible before the worker exits.
                             if remaining.load(Ordering::Acquire) == 0 {
                                 break;
                             }
@@ -200,10 +212,14 @@ where
     LoadStats {
         items_per_worker: counters
             .iter()
+            // ORDERING: Relaxed — workers have joined (scope ended), so
+            // their counter writes are already visible; this is a
+            // single-threaded read-out.
             .map(|(i, _)| i.load(Ordering::Relaxed))
             .collect(),
         steals_per_worker: counters
             .iter()
+            // ORDERING: Relaxed — post-join read-out, as above.
             .map(|(_, s)| s.load(Ordering::Relaxed))
             .collect(),
     }

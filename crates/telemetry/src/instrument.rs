@@ -68,18 +68,24 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
+        // ORDERING: Relaxed — independent event tally; nothing is
+        // published through this write and readers need only totals.
         self.value.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — independent tally update, no ordering
+        // dependency on surrounding memory.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — scrapes tolerate a slightly stale value;
+        // monotonicity per writer is all exposition needs.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -99,30 +105,39 @@ impl Gauge {
     /// Overwrites the value.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — last-value-wins gauge; no reader infers
+        // anything about other memory from it.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Raises the value to `v` if `v` is larger (running peak).
     #[inline]
     pub fn fetch_max(&self, v: u64) {
+        // ORDERING: Relaxed — the RMW itself is atomic, which is all a
+        // running peak needs; order against other memory is irrelevant.
         self.value.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Adds `n` (e.g. resources acquired).
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — independent tally update, no ordering
+        // dependency on surrounding memory.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Subtracts `n` (e.g. resources released).
     #[inline]
     pub fn sub(&self, n: u64) {
+        // ORDERING: Relaxed — independent tally update, mirror of `add`.
         self.value.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — scrapes tolerate a slightly stale value;
+        // monotonicity per writer is all exposition needs.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -171,15 +186,21 @@ impl Histogram {
     #[inline]
     pub fn record(&self, seconds: f64) {
         let idx = bucket_index(seconds);
+        // ORDERING: Relaxed — each field is an independent tally; a
+        // scrape may see count ahead of sum by an in-flight record, which
+        // exposition tolerates by design (no cross-field invariant).
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — see above; same in-flight-record slack.
         self.count.fetch_add(1, Ordering::Relaxed);
         let nanos = if seconds.is_nan() || seconds <= 0.0 {
             0
         } else {
             (seconds * 1e9).round() as u64
         };
+        // ORDERING: Relaxed — see above; same in-flight-record slack.
         self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.max_bits
+            // ORDERING: Relaxed — atomic RMW suffices for a running max.
             .fetch_max(seconds.max(0.0).to_bits(), Ordering::Relaxed);
     }
 
@@ -187,27 +208,36 @@ impl Histogram {
     pub fn merge_shard(&self, shard: &HistogramShard) {
         for (i, &n) in shard.buckets.iter().enumerate() {
             if n > 0 {
+                // ORDERING: Relaxed — tally merge, same slack as
+                // `record`: no cross-field invariant for readers.
                 self.buckets[i].fetch_add(n, Ordering::Relaxed);
             }
         }
+        // ORDERING: Relaxed — see above; fields merge independently.
         self.count.fetch_add(shard.count, Ordering::Relaxed);
+        // ORDERING: Relaxed — see above; fields merge independently.
         self.sum_nanos.fetch_add(shard.sum_nanos, Ordering::Relaxed);
         self.max_bits
+            // ORDERING: Relaxed — atomic RMW suffices for a running max.
             .fetch_max(shard.max.max(0.0).to_bits(), Ordering::Relaxed);
     }
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — scrape read; staleness by an in-flight
+        // record is acceptable, see `record`.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations, in seconds.
     pub fn sum_seconds(&self) -> f64 {
+        // ORDERING: Relaxed — scrape read, same slack as `count`.
         self.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
 
     /// Largest observation, in seconds (0 when empty).
     pub fn max_seconds(&self) -> f64 {
+        // ORDERING: Relaxed — scrape read, same slack as `count`.
         f64::from_bits(self.max_bits.load(Ordering::Relaxed))
     }
 
@@ -224,6 +254,9 @@ impl Histogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // ORDERING: Relaxed — the bucket array is sampled bucket by
+            // bucket; quantiles are statistics over a scrape-consistent
+            // snapshot, not an exact point-in-time state.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();

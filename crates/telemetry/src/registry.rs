@@ -87,12 +87,17 @@ impl Registry {
     {
         let mut map = self.inner.instruments.lock().expect("registry poisoned");
         let entry = map.entry((name, labels)).or_insert_with(make);
-        match pick(entry) {
+        let picked = pick(entry);
+        let kind = entry.kind();
+        // The kind-mismatch panic fires with the registry unlocked:
+        // poisoning the global instrument map would cascade the one
+        // buggy registration into a panic in every later metrics call.
+        drop(map);
+        match picked {
             Some(arc) => arc,
-            None => panic!(
-                "telemetry instrument {name:?} {labels:?} already registered as a {}",
-                entry.kind()
-            ),
+            None => {
+                panic!("telemetry instrument {name:?} {labels:?} already registered as a {kind}")
+            }
         }
     }
 
