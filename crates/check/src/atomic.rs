@@ -1,0 +1,111 @@
+//! Instrumented atomics.
+//!
+//! Every operation is a scheduling point, so the explorer enumerates
+//! all orderings of atomic accesses across threads. The backing store
+//! is a real `std` atomic accessed with `Relaxed`: the scheduler's
+//! state mutex already serializes model steps, so the model-visible
+//! semantics are sequentially consistent regardless.
+//!
+//! `peek()` reads without yielding — it exists for invariant closures,
+//! which run inside the scheduler and must not re-enter it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::runtime::{self, Execution};
+
+macro_rules! checked_atomic {
+    ($name:ident, $prim:ty, $inner:ty) => {
+        pub struct $name {
+            exec: Arc<Execution>,
+            label: String,
+            inner: $inner,
+        }
+
+        impl $name {
+            pub fn new(value: $prim) -> Self {
+                Self::named("atomic", value)
+            }
+
+            /// Named variant; the name appears in the event log.
+            pub fn named(name: &str, value: $prim) -> Self {
+                let (exec, _) = runtime::ctx();
+                $name {
+                    exec,
+                    label: name.to_string(),
+                    inner: <$inner>::new(value),
+                }
+            }
+
+            fn yield_op(&self, op: &str) {
+                let tid = runtime::ctx_in(&self.exec);
+                runtime::op_yield(&self.exec, tid, &format!("{}.{op}", self.label));
+            }
+
+            pub fn load(&self) -> $prim {
+                self.yield_op("load");
+                // ORDERING: Relaxed suffices — the checker's scheduler
+                // mutex totally orders all model steps.
+                self.inner.load(Ordering::Relaxed)
+            }
+
+            pub fn store(&self, value: $prim) {
+                self.yield_op("store");
+                // ORDERING: Relaxed suffices — see `load`.
+                self.inner.store(value, Ordering::Relaxed)
+            }
+
+            pub fn swap(&self, value: $prim) -> $prim {
+                self.yield_op("swap");
+                // ORDERING: Relaxed suffices — see `load`.
+                self.inner.swap(value, Ordering::Relaxed)
+            }
+
+            pub fn compare_exchange(&self, current: $prim, new: $prim) -> Result<$prim, $prim> {
+                self.yield_op("compare_exchange");
+                self.inner
+                    // ORDERING: Relaxed suffices — see `load`.
+                    .compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+            }
+
+            /// Non-yielding read for invariant closures and
+            /// post-exploration assertions.
+            pub fn peek(&self) -> $prim {
+                // ORDERING: Relaxed suffices — see `load`.
+                self.inner.load(Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+macro_rules! checked_atomic_int {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, value: $prim) -> $prim {
+                self.yield_op("fetch_add");
+                // ORDERING: Relaxed suffices — see `load`.
+                self.inner.fetch_add(value, Ordering::Relaxed)
+            }
+
+            pub fn fetch_sub(&self, value: $prim) -> $prim {
+                self.yield_op("fetch_sub");
+                // ORDERING: Relaxed suffices — see `load`.
+                self.inner.fetch_sub(value, Ordering::Relaxed)
+            }
+
+            pub fn fetch_max(&self, value: $prim) -> $prim {
+                self.yield_op("fetch_max");
+                // ORDERING: Relaxed suffices — see `load`.
+                self.inner.fetch_max(value, Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+checked_atomic!(CheckedAtomicU64, u64, AtomicU64);
+checked_atomic_int!(CheckedAtomicU64, u64);
+
+checked_atomic!(CheckedAtomicUsize, usize, AtomicUsize);
+checked_atomic_int!(CheckedAtomicUsize, usize);
+
+checked_atomic!(CheckedAtomicBool, bool, AtomicBool);

@@ -1,0 +1,165 @@
+//! Compact schedule traces.
+//!
+//! A trace records every *branching* decision the scheduler made during
+//! one execution, in order. Forced decisions (only one runnable thread,
+//! a single-alternative value choice) are not recorded: they are
+//! re-derived deterministically on replay, which keeps traces short and
+//! means a trace stays valid as long as the model itself is unchanged.
+//!
+//! The textual form is dot-separated: `t0.t2.v1.t0` means "at the first
+//! branching point pick thread 0, then thread 2, then value 1 of a
+//! `choose`, then thread 0". [`Trace::parse`] and [`std::fmt::Display`]
+//! round-trip exactly.
+
+use std::fmt;
+
+/// One scheduler decision: either which thread runs next, or which
+/// value a [`crate::choose`] call observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Alt {
+    Thread(usize),
+    Value(usize),
+}
+
+impl fmt::Display for Alt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Alt::Thread(t) => write!(f, "t{t}"),
+            Alt::Value(v) => write!(f, "v{v}"),
+        }
+    }
+}
+
+/// An ordered list of branching decisions; the replayable identity of
+/// one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    pub alts: Vec<Alt>,
+}
+
+impl Trace {
+    pub fn new(alts: Vec<Alt>) -> Self {
+        Trace { alts }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.alts.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.alts.len()
+    }
+
+    /// Parses the `t0.v1.t2` form produced by `Display`.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Ok(Trace::default());
+        }
+        let mut alts = Vec::new();
+        for part in text.split('.') {
+            let (kind, num) = part.split_at(1.min(part.len()));
+            let idx: usize = num
+                .parse()
+                .map_err(|_| format!("bad trace element {part:?}"))?;
+            match kind {
+                "t" => alts.push(Alt::Thread(idx)),
+                "v" => alts.push(Alt::Value(idx)),
+                _ => return Err(format!("bad trace element {part:?}")),
+            }
+        }
+        Ok(Trace { alts })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, alt) in self.alts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{alt}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What a failing exploration found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Cycle in the wait-for graph over held/requested locks and joins.
+    Deadlock,
+    /// A condvar waiter is blocked and no remaining thread can notify it.
+    LostWakeup,
+    /// A registered invariant or an `io_step` lock-discipline check failed.
+    InvariantViolation,
+    /// Model code panicked (failed `assert!`, index out of bounds, ...).
+    Panic,
+    /// The execution exceeded the per-schedule step budget.
+    StepLimit,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::LostWakeup => "lost wakeup",
+            FailureKind::InvariantViolation => "invariant violation",
+            FailureKind::Panic => "panic",
+            FailureKind::StepLimit => "step limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failure plus everything needed to reproduce and understand it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Replayable schedule: feed to [`crate::replay`] to re-run the
+    /// exact interleaving bit-identically.
+    pub trace: Trace,
+    /// Per-thread operation log (`"t1 lock(inflight)"`, ...) up to the
+    /// failure point.
+    pub events: Vec<String>,
+}
+
+impl Failure {
+    /// Human-readable multi-line rendering used by the explorer and CI
+    /// artifacts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}: {}\n", self.kind, self.message));
+        out.push_str(&format!("trace: {}\n", self.trace));
+        out.push_str("events:\n");
+        for e in &self.events {
+            out.push_str("  ");
+            out.push_str(e);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrip() {
+        for text in ["", "t0", "t0.t1.v2.t0", "v0.v1"] {
+            let t = Trace::parse(text).unwrap();
+            assert_eq!(t.to_string(), text);
+            assert_eq!(Trace::parse(&t.to_string()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn trace_rejects_garbage() {
+        assert!(Trace::parse("x3").is_err());
+        assert!(Trace::parse("t").is_err());
+        assert!(Trace::parse("t1..t2").is_err());
+        assert!(Trace::parse("t-1").is_err());
+    }
+}

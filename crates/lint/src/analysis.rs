@@ -4,9 +4,11 @@
 //! lock-order graph.
 //!
 //! This backs rules **HL003** (guards held across file I/O or across a
-//! second lock acquisition, plus lock-order cycle detection) and
-//! **HL004** (panic-capable operations while a guard is live, which
-//! would poison a `std::sync` lock).
+//! second lock acquisition, plus lock-order cycle detection), **HL004**
+//! (panic-capable operations while a guard is live, which would poison
+//! a `std::sync` lock), and **HL006** (a condvar `wait`/`wait_timeout`
+//! must sit inside a loop that re-checks its predicate and must rebind
+//! the reacquired guard — spurious-wakeup discipline).
 //!
 //! Approximations (documented in README): calls are resolved to
 //! functions *in the same file* by name (method receivers are not
@@ -86,6 +88,7 @@ const CALL_DENYLIST: &[&str] = &[
     "contains",
     "contains_key",
     "next",
+    "join", // str/slice `join` would resolve to a `JoinHandle::join`
     "wait",
     "notify_all",
     "notify_one",
@@ -467,6 +470,7 @@ pub fn analyze(files: &[ScannedFile]) -> Vec<Finding> {
     for (fns, impls) in per_file.iter().zip(&per_file_impls) {
         for f in fns {
             simulate(f, impls, &mut ws, &mut findings);
+            hl006_wait_discipline(f, &mut findings);
         }
     }
 
@@ -786,6 +790,131 @@ fn simulate(f: &FnInfo, impls: &BTreeSet<String>, ws: &mut Workspace, findings: 
                 }
                 i += 1;
             }
+        }
+    }
+}
+
+/// Loop classification for HL006: what the innermost enclosing loop
+/// guarantees about predicate re-checking after a spurious wakeup.
+#[derive(Clone, Copy, PartialEq)]
+enum LoopKind {
+    /// Not a loop (`if`, `match`, plain block, closure body, ...).
+    Block,
+    /// `while cond { ... }`: the predicate is re-tested at the top.
+    While,
+    /// `loop`/`for`: nothing is re-tested unless the body exits
+    /// explicitly (`break`/`return`/`continue`) before re-waiting.
+    Bare,
+}
+
+/// **HL006** — condvar spurious-wakeup discipline. A
+/// `.wait(guard)`/`.wait_timeout(guard, ..)` call (recognized by its
+/// non-empty argument list; zero-argument `wait()`s — barriers,
+/// tickets, join handles — are a different API and out of scope) must:
+///
+/// 1. sit inside a loop that re-checks the predicate: a `while` loop,
+///    or a bare `loop` that tests an exit before reaching the wait
+///    (the `loop { if done { return } g = cv.wait(g) }` idiom);
+/// 2. rebind the reacquired guard (`g = cv.wait(g)`), unless the
+///    argument is `&mut guard` (parking_lot-style in-place
+///    reacquisition, where there is no returned guard to lose).
+fn hl006_wait_discipline(f: &FnInfo, findings: &mut Vec<Finding>) {
+    let body = &f.body;
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    // Brace-frame stack: (loop kind, saw an exit before this token).
+    let mut frames: Vec<(LoopKind, bool)> = Vec::new();
+    let mut pending: Option<LoopKind> = None;
+    for i in 0..body.len() {
+        match body[i].text.as_str() {
+            "while" => pending = Some(LoopKind::While),
+            "loop" | "for" => pending = Some(LoopKind::Bare),
+            ";" => pending = None,
+            "{" => frames.push((pending.take().unwrap_or(LoopKind::Block), false)),
+            "}" => {
+                frames.pop();
+            }
+            "break" | "return" | "continue" => {
+                // Every frame currently open encloses this exit, so the
+                // wait-site check below sees it iff it came first.
+                for fr in frames.iter_mut() {
+                    fr.1 = true;
+                }
+            }
+            "." => {
+                let Some(m) = body.get(i + 1) else { continue };
+                if !(m.is("wait") || m.is("wait_timeout")) {
+                    continue;
+                }
+                if !body.get(i + 2).is_some_and(|n| n.is("(")) {
+                    continue;
+                }
+                if body.get(i + 3).map(|n| n.is(")")).unwrap_or(true) {
+                    continue; // zero-argument wait: not a condvar
+                }
+                let line = body[i].line;
+                let method = m.text.clone();
+                match frames.iter().rev().find(|(k, _)| *k != LoopKind::Block) {
+                    None => emit(
+                        findings,
+                        &mut seen,
+                        "HL006",
+                        &f.file,
+                        &f.name,
+                        line,
+                        format!(
+                            "`{method}` outside a loop — a spurious wakeup \
+                             proceeds without the predicate re-checked"
+                        ),
+                    ),
+                    Some((LoopKind::Bare, false)) => emit(
+                        findings,
+                        &mut seen,
+                        "HL006",
+                        &f.file,
+                        &f.name,
+                        line,
+                        format!(
+                            "`{method}` in a bare `loop` with no exit test \
+                             before it — the predicate is never re-checked"
+                        ),
+                    ),
+                    _ => {}
+                }
+                // parking_lot-style `wait(&mut guard)` reacquires in
+                // place: there is no returned guard to rebind.
+                let in_place = body.get(i + 3).is_some_and(|n| n.is("&"))
+                    && body.get(i + 4).is_some_and(|n| n.is("mut"));
+                if !in_place {
+                    let mut rebound = false;
+                    let mut j = i;
+                    while j > 0 {
+                        j -= 1;
+                        match body[j].text.as_str() {
+                            ";" | "{" | "}" => break,
+                            "=" => {
+                                rebound = true;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !rebound {
+                        emit(
+                            findings,
+                            &mut seen,
+                            "HL006",
+                            &f.file,
+                            &f.name,
+                            line,
+                            format!(
+                                "`{method}` result discarded — rebind the \
+                                 reacquired guard (`g = cv.{method}(g, ..)`)"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
         }
     }
 }

@@ -8,6 +8,7 @@
 //! | HL003 | no guard held across file I/O or a second lock; lock-order cycles |
 //! | HL004 | no `unwrap`/`expect`/panic-macro/guard-indexing while a guard is live |
 //! | HL005 | no `HashMap` iteration into serialization/hash sinks; `hddm_*` naming |
+//! | HL006 | condvar `wait`/`wait_timeout` re-checks its predicate in a loop and rebinds the guard |
 //!
 //! Dependency-free by design (the scanner is hand-rolled, see
 //! [`scanner`]), so the lint gate cannot be broken by the code it lints.

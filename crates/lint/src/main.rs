@@ -3,11 +3,17 @@
 //! findings.
 //!
 //! ```text
-//! hddm-lint [--root DIR] [--baseline FILE] [--out FILE]
+//! hddm-lint [--root DIR] [--baseline FILE] [--out FILE] [--baseline-write]
 //! ```
 //!
-//! Exit codes: 0 clean (new findings: none), 1 new findings, 2 usage or
-//! I/O error.
+//! `--baseline-write` regenerates the baseline file (default
+//! `lint-baseline.json`) from the current findings instead of gating on
+//! it: rationales of entries that survive are preserved by key, new
+//! entries are stamped `"rationale": "TODO"` for a human to fill in,
+//! and stale entries are dropped.
+//!
+//! Exit codes: 0 clean (new findings: none) or baseline written,
+//! 1 new findings, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +24,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
     let mut out_path: Option<PathBuf> = None;
+    let mut baseline_write = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |name: &str| match args.next() {
@@ -28,8 +35,14 @@ fn main() -> ExitCode {
             "--root" => grab("--root").map(|v| root = v),
             "--baseline" => grab("--baseline").map(|v| baseline_path = Some(v)),
             "--out" => grab("--out").map(|v| out_path = Some(v)),
+            "--baseline-write" => {
+                baseline_write = true;
+                Ok(())
+            }
             "--help" | "-h" => {
-                println!("usage: hddm-lint [--root DIR] [--baseline FILE] [--out FILE]");
+                println!(
+                    "usage: hddm-lint [--root DIR] [--baseline FILE] [--out FILE] [--baseline-write]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => Err(format!("unknown argument {other:?}")),
@@ -38,6 +51,9 @@ fn main() -> ExitCode {
             eprintln!("hddm-lint: {e}");
             return ExitCode::from(2);
         }
+    }
+    if baseline_write && baseline_path.is_none() {
+        baseline_path = Some(PathBuf::from("lint-baseline.json"));
     }
 
     let sources = match hddm_lint::collect_workspace_sources(&root) {
@@ -51,6 +67,9 @@ fn main() -> ExitCode {
 
     let baseline = match &baseline_path {
         None => Vec::new(),
+        // In write mode a missing baseline file just means "start
+        // fresh"; in gate mode it is an error.
+        Some(p) if baseline_write && !p.exists() => Vec::new(),
         Some(p) => match std::fs::read_to_string(p)
             .map_err(|e| e.to_string())
             .and_then(|t| report::parse_baseline(&t))
@@ -62,6 +81,27 @@ fn main() -> ExitCode {
             }
         },
     };
+
+    if baseline_write {
+        let p = baseline_path.expect("write mode defaults the path");
+        let text = report::render_baseline(&findings, &baseline);
+        if let Err(e) = std::fs::write(&p, &text) {
+            eprintln!("hddm-lint: writing {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+        let regenerated = report::parse_baseline(&text).expect("render/parse roundtrip");
+        let todo = regenerated.iter().filter(|b| b.rationale == "TODO").count();
+        let dropped = report::diff(&findings, &baseline).stale.len();
+        eprintln!(
+            "hddm-lint: wrote {} with {} entr{} ({} new TODO rationale(s) to fill in, {} stale dropped)",
+            p.display(),
+            regenerated.len(),
+            if regenerated.len() == 1 { "y" } else { "ies" },
+            todo,
+            dropped,
+        );
+        return ExitCode::SUCCESS;
+    }
 
     let diff = report::diff(&findings, &baseline);
     let rendered = report::render_report(&diff);

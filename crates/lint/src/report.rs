@@ -143,6 +143,55 @@ pub fn render_report(diff: &Diff) -> String {
     out
 }
 
+/// Regenerates `lint-baseline.json` from the current findings.
+///
+/// Every current finding becomes an accepted entry; entries are
+/// deduplicated and sorted by key so regeneration is deterministic and
+/// diffs stay reviewable. An entry whose key already exists in the old
+/// baseline keeps its human rationale; genuinely new entries are
+/// stamped `"TODO"` so the gate of record — a reviewer grepping for
+/// TODO — cannot silently accept them. Stale entries (no longer
+/// reported) are dropped.
+pub fn render_baseline(findings: &[Finding], existing: &[BaselineEntry]) -> String {
+    let rationales: std::collections::BTreeMap<String, &str> = existing
+        .iter()
+        .map(|b| (b.key(), b.rationale.as_str()))
+        .collect();
+    let mut entries: Vec<&Finding> = findings.iter().collect();
+    entries.sort_by_key(|f| f.key());
+    entries.dedup_by_key(|f| f.key());
+    let mut out = String::new();
+    out.push_str(concat!(
+        "{\n  \"comment\": \"Accepted hddm-lint findings. Each entry is a ",
+        "deliberate design decision, not an oversight; the rationale says why ",
+        "the flagged pattern is sound here. Keys are line-free ",
+        "(rule|file|function|detail) so unrelated edits do not churn this ",
+        "file. Remove entries when the code they describe is restructured — ",
+        "hddm-lint reports them as stale.\",\n",
+        "  \"accepted\": [\n",
+    ));
+    for (i, f) in entries.iter().enumerate() {
+        out.push_str("    {\n      \"rule\": ");
+        esc(&mut out, &f.rule);
+        out.push_str(",\n      \"file\": ");
+        esc(&mut out, &f.file);
+        out.push_str(",\n      \"function\": ");
+        esc(&mut out, &f.function);
+        out.push_str(",\n      \"detail\": ");
+        esc(&mut out, &f.detail);
+        out.push_str(",\n      \"rationale\": ");
+        let rationale = rationales.get(&f.key()).copied().unwrap_or("TODO");
+        esc(&mut out, rationale);
+        out.push_str("\n    }");
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 // ---- minimal JSON reader (objects / arrays / strings / integers) ----
 
 #[derive(Debug, Clone, PartialEq)]
@@ -362,6 +411,37 @@ mod tests {
         let text = render_report(&d);
         assert!(text.contains("\\\"raw\\\""));
         assert!(text.contains("\"new\": 1"));
+    }
+
+    #[test]
+    fn baseline_write_preserves_rationales_and_stamps_new() {
+        let existing = parse_baseline(
+            r#"{ "accepted": [
+                { "rule": "HL004", "file": "crates/x/src/a.rs", "function": "f",
+                  "detail": "old one", "rationale": "known benign" },
+                { "rule": "HL003", "file": "crates/x/src/a.rs", "function": "f",
+                  "detail": "fixed since", "rationale": "stale" }
+            ] }"#,
+        )
+        .unwrap();
+        let findings = vec![
+            finding("HL004", "old one"),
+            finding("HL001", "brand new"),
+            finding("HL004", "old one"), // duplicate: must collapse
+        ];
+        let text = render_baseline(&findings, &existing);
+        let back = parse_baseline(&text).unwrap();
+        // Sorted by key, deduplicated, stale entry dropped.
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].rule, "HL001");
+        assert_eq!(back[0].rationale, "TODO");
+        assert_eq!(back[1].rule, "HL004");
+        assert_eq!(back[1].rationale, "known benign");
+        // Regeneration is idempotent once rationales are carried over.
+        assert_eq!(render_baseline(&findings, &back), text);
+        // A regenerated baseline accepts exactly the current findings.
+        let d = diff(&findings, &back);
+        assert!(d.new.is_empty() && d.stale.is_empty());
     }
 
     #[test]

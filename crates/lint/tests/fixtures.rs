@@ -359,6 +359,171 @@ fn hl005_fires_on_bad_charset_and_gauge_suffix() {
     assert_eq!(rules_of(&gauge), ["HL005"], "{gauge:?}");
 }
 
+#[test]
+fn hl003_str_join_does_not_resolve_to_a_join_method() {
+    // `parts.join(", ")` is the ubiquitous str/slice method; it must
+    // not resolve to a same-file `fn join` that takes locks (the
+    // JoinHandle::join name collision).
+    let findings = lint_one(concat!(
+        "struct H { slot: std::sync::Mutex<Option<u32>> }\n",
+        "impl H {\n",
+        "    fn join(&self) -> Option<u32> {\n",
+        "        self.slot.lock().unwrap().take()\n",
+        "    }\n",
+        "}\n",
+        "struct S { m: std::sync::Mutex<Vec<String>> }\n",
+        "impl S {\n",
+        "    fn f(&self) -> String {\n",
+        "        let parts = self.m.lock().unwrap();\n",
+        "        parts.join(\", \")\n",
+        "    }\n",
+        "}\n",
+    ));
+    assert!(findings.iter().all(|f| f.rule != "HL003"), "{findings:?}");
+}
+
+// ----- HL006: condvar spurious-wakeup discipline -------------------------
+
+#[test]
+fn hl006_fires_on_if_guarded_wait() {
+    // An `if` is not a loop: a spurious wakeup falls straight through
+    // with the predicate unchecked.
+    let findings = lint_one(concat!(
+        "struct S { m: std::sync::Mutex<bool>, cv: std::sync::Condvar }\n",
+        "impl S {\n",
+        "    fn f(&self) {\n",
+        "        let mut g = self.m.lock().unwrap();\n",
+        "        if !*g {\n",
+        "            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());\n",
+        "        }\n",
+        "        drop(g);\n",
+        "    }\n",
+        "}\n",
+    ));
+    assert_eq!(rules_of(&findings), ["HL006"], "{findings:?}");
+    assert!(
+        findings[0].detail.contains("outside a loop"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn hl006_fires_on_bare_loop_waiting_before_any_exit_test() {
+    // `loop { wait; check }` waits first: the initial iteration (and
+    // every spurious wakeup) blocks before the predicate is consulted.
+    let findings = lint_one(concat!(
+        "struct S { m: std::sync::Mutex<bool>, cv: std::sync::Condvar }\n",
+        "impl S {\n",
+        "    fn f(&self) {\n",
+        "        let mut g = self.m.lock().unwrap();\n",
+        "        loop {\n",
+        "            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());\n",
+        "            if *g {\n",
+        "                break;\n",
+        "            }\n",
+        "        }\n",
+        "        drop(g);\n",
+        "    }\n",
+        "}\n",
+    ));
+    assert_eq!(rules_of(&findings), ["HL006"], "{findings:?}");
+    assert!(findings[0].detail.contains("bare `loop`"), "{findings:?}");
+}
+
+#[test]
+fn hl006_fires_on_discarded_wait_result() {
+    // The reacquired guard is dropped on the spot; the next iteration
+    // re-locks and the wait provides no mutual exclusion at all.
+    let findings = lint_one(concat!(
+        "struct S { m: std::sync::Mutex<bool>, cv: std::sync::Condvar }\n",
+        "impl S {\n",
+        "    fn done(&self) -> bool {\n",
+        "        true\n",
+        "    }\n",
+        "    fn f(&self) {\n",
+        "        while !self.done() {\n",
+        "            self.cv.wait(self.m.lock().unwrap());\n",
+        "        }\n",
+        "    }\n",
+        "}\n",
+    ));
+    assert_eq!(rules_of(&findings), ["HL006"], "{findings:?}");
+    assert!(
+        findings[0].detail.contains("result discarded"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn hl006_silent_on_while_loop_rebind() {
+    let findings = lint_one(concat!(
+        "struct S { m: std::sync::Mutex<bool>, cv: std::sync::Condvar }\n",
+        "impl S {\n",
+        "    fn f(&self) {\n",
+        "        let mut g = self.m.lock().unwrap();\n",
+        "        while !*g {\n",
+        "            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());\n",
+        "        }\n",
+        "        drop(g);\n",
+        "    }\n",
+        "}\n",
+    ));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hl006_silent_on_loop_with_exit_before_wait() {
+    // The `loop { if let Some(v) = take() { return v } wait }` idiom
+    // (Ticket::wait): the predicate is tested before every wait.
+    let findings = lint_one(concat!(
+        "struct S { m: std::sync::Mutex<Option<u32>>, cv: std::sync::Condvar }\n",
+        "impl S {\n",
+        "    fn f(&self) -> u32 {\n",
+        "        let mut g = self.m.lock().unwrap();\n",
+        "        loop {\n",
+        "            if let Some(v) = g.take() {\n",
+        "                return v;\n",
+        "            }\n",
+        "            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());\n",
+        "        }\n",
+        "    }\n",
+        "}\n",
+    ));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hl006_silent_on_in_place_mut_ref_wait() {
+    // parking_lot-style `wait(&mut guard)` reacquires in place: no
+    // returned guard exists, so no rebinding is required.
+    let findings = lint_one(concat!(
+        "struct S { m: Mutex<u64>, cv: Condvar }\n",
+        "impl S {\n",
+        "    fn f(&self, gen: u64) {\n",
+        "        let mut g = self.m.lock();\n",
+        "        while *g == gen {\n",
+        "            self.cv.wait(&mut g);\n",
+        "        }\n",
+        "        drop(g);\n",
+        "    }\n",
+        "}\n",
+    ));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hl006_ignores_zero_argument_waits() {
+    // Barriers, tickets and join handles expose argument-free `wait()`
+    // methods; only the guard-passing condvar form is in scope.
+    let findings = lint_one(concat!(
+        "fn f(b: &std::sync::Barrier, t: &Ticket) -> u32 {\n",
+        "    b.wait();\n",
+        "    t.wait()\n",
+        "}\n",
+    ));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 // ----- cross-cutting -----------------------------------------------------
 
 #[test]

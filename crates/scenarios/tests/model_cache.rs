@@ -1,0 +1,245 @@
+//! hddm-check model of the cache's per-entry in-flight restore guard.
+//!
+//! Mirrors `crates/scenarios/src/cache.rs` — `promote_from_disk` +
+//! `restore_claimed` — structure-for-structure: the shard `RwLock`
+//! probe, the `inflight` set + condvar claim election, the `ClaimGuard`
+//! release-and-notify on drop, the re-check under the claim, the
+//! `restoring_now`/`restore_peak` gauges, and the record-file read with
+//! no lock held.
+//!
+//! Checked properties:
+//! - **restore-once**: the record file is read at most once per hash no
+//!   matter how many readers race (invariant, checked every step);
+//! - **no lost claim**: every reader terminates with the promoted
+//!   surface (no deadlock / lost wakeup in the claim protocol);
+//! - **no reader serialization**: readers of *different* hashes can
+//!   overlap their restores (`restore_peak` reaches 2 in some schedule);
+//! - **no I/O under a lock**: the file read runs with zero checked
+//!   locks held (`io_step`).
+//!
+//! Mutations (the checker must catch each with a replayable trace):
+//! - `DropClaimWithoutNotify` — the `ClaimGuard` drop loses its
+//!   `notify_all` ("guard dropped before notify"): a waiter blocked on
+//!   the claim condvar is never woken → lost wakeup;
+//! - `SkipRecheckUnderClaim` — `restore_claimed` skips the shard
+//!   re-check after winning the claim: a loser that claims after the
+//!   winner's release re-reads the record file → restore-once invariant
+//!   violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hddm_check::{
+    explore, io_step, register_invariant, replay, spawn, CheckedAtomicUsize, CheckedCondvar,
+    CheckedMutex, CheckedRwLock, Config, FailureKind,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mutation {
+    None,
+    DropClaimWithoutNotify,
+    SkipRecheckUnderClaim,
+}
+
+/// Model-level `SurfaceCache` state: one shard (the protocol is
+/// per-shard; more shards only multiply independent copies), the
+/// in-flight claim set, and the restore gauges.
+struct CacheModel {
+    shard: CheckedRwLock<BTreeMap<u64, u64>>,
+    inflight: CheckedMutex<BTreeSet<u64>>,
+    inflight_cv: CheckedCondvar,
+    restoring_now: CheckedAtomicUsize,
+    restore_peak: CheckedAtomicUsize,
+    /// Per-hash record-file read counts (the restore-once subject).
+    disk_reads: Vec<CheckedAtomicUsize>,
+    mutation: Mutation,
+}
+
+impl CacheModel {
+    fn new(hashes: usize, mutation: Mutation) -> Arc<CacheModel> {
+        Arc::new(CacheModel {
+            shard: CheckedRwLock::named("shard", BTreeMap::new()),
+            inflight: CheckedMutex::named("inflight", BTreeSet::new()),
+            inflight_cv: CheckedCondvar::named("inflight_cv"),
+            restoring_now: CheckedAtomicUsize::named("restoring_now", 0),
+            restore_peak: CheckedAtomicUsize::named("restore_peak", 0),
+            disk_reads: (0..hashes)
+                .map(|h| CheckedAtomicUsize::named(&format!("disk_reads[{h}]"), 0))
+                .collect(),
+            mutation,
+        })
+    }
+
+    /// Mirrors `SurfaceCache::promote_from_disk`.
+    fn promote_from_disk(&self, hash: u64) -> u64 {
+        loop {
+            if let Some(&surface) = self.shard.read().get(&hash) {
+                // Another thread promoted it while we raced for the claim.
+                return surface;
+            }
+            {
+                let mut inflight = self.inflight.lock();
+                if inflight.contains(&hash) {
+                    // A restore of this very hash is in flight: wait for
+                    // the winner instead of reading the file twice.
+                    while inflight.contains(&hash) {
+                        inflight = self.inflight_cv.wait(inflight);
+                    }
+                    continue; // re-check the shard
+                }
+                inflight.insert(hash);
+            }
+
+            // `ClaimGuard` body: restore, then release the claim and
+            // notify waiters (the mutation loses the notify).
+            let result = self.restore_claimed(hash);
+            {
+                let mut inflight = self.inflight.lock();
+                inflight.remove(&hash);
+            }
+            if self.mutation != Mutation::DropClaimWithoutNotify {
+                self.inflight_cv.notify_all();
+            }
+            if let Some(surface) = result {
+                return surface;
+            }
+        }
+    }
+
+    /// Mirrors `SurfaceCache::restore_claimed`.
+    fn restore_claimed(&self, hash: u64) -> Option<u64> {
+        if self.mutation != Mutation::SkipRecheckUnderClaim {
+            // Re-check now that the claim is held — without this, the
+            // record file would be read a second time for an
+            // already-promoted surface.
+            if let Some(&surface) = self.shard.read().get(&hash) {
+                return Some(surface);
+            }
+        }
+        let now = self.restoring_now.fetch_add(1) + 1;
+        self.restore_peak.fetch_max(now);
+        self.disk_reads[hash as usize].fetch_add(1);
+        // The record-file read: **no lock held** (io_step fails the
+        // execution if any checked lock is).
+        io_step("read record file");
+        self.restoring_now.fetch_sub(1);
+        let surface = 100 + hash;
+        let mut shard = self.shard.write();
+        let promoted = *shard.entry(hash).or_insert(surface);
+        Some(promoted)
+    }
+}
+
+/// Spawns one reader per entry of `reader_hashes`, racing promotions.
+/// `peak_seen` accumulates `restore_peak` across executions (plain
+/// atomic: cross-execution bookkeeping, not model state).
+fn cache_model(mutation: Mutation, reader_hashes: &'static [u64], peak_seen: Arc<AtomicUsize>) {
+    let hashes = 1 + *reader_hashes.iter().max().unwrap() as usize;
+    let m = CacheModel::new(hashes, mutation);
+    for h in 0..hashes {
+        // Restore-once, checked at *every* scheduling point: a second
+        // file read is caught the step it happens, not at the end.
+        let m2 = Arc::clone(&m);
+        register_invariant(&format!("record file {h} read at most once"), move || {
+            let n = m2.disk_reads[h].peek();
+            if n <= 1 {
+                Ok(())
+            } else {
+                Err(format!("record file {h} read {n} times"))
+            }
+        });
+    }
+    let workers: Vec<_> = reader_hashes
+        .iter()
+        .enumerate()
+        .map(|(i, &hash)| {
+            let m = Arc::clone(&m);
+            spawn(&format!("reader-{i}"), move || m.promote_from_disk(hash))
+        })
+        .collect();
+    for (w, &hash) in workers.into_iter().zip(reader_hashes) {
+        assert_eq!(w.join(), 100 + hash, "reader got the promoted surface");
+    }
+    // Every claim released: the in-flight set must be empty at the end.
+    assert!(m.inflight.lock().is_empty(), "leaked in-flight claim");
+    // ORDERING: Relaxed — cross-execution stats outside the model.
+    peak_seen.fetch_max(m.restore_peak.peek(), Ordering::Relaxed);
+}
+
+#[test]
+fn restore_once_same_hash_explores_clean() {
+    let peak = Arc::new(AtomicUsize::new(0));
+    let p = Arc::clone(&peak);
+    let report = explore(&Config::new("cache-restore-once"), move || {
+        cache_model(Mutation::None, &[0, 0, 0], Arc::clone(&p))
+    });
+    let schedules = report.assert_clean();
+    println!(
+        "model cache-restore-once: {} schedules, max {} steps, complete at bound {:?}",
+        schedules,
+        report.max_steps_seen,
+        Config::new("cache-restore-once").preemption_bound
+    );
+}
+
+#[test]
+fn distinct_hashes_restore_in_parallel() {
+    let peak = Arc::new(AtomicUsize::new(0));
+    let p = Arc::clone(&peak);
+    let report = explore(&Config::new("cache-parallel-restore"), move || {
+        cache_model(Mutation::None, &[0, 1], Arc::clone(&p))
+    });
+    let schedules = report.assert_clean();
+    // No reader serialization: some schedule overlaps the two restores.
+    // ORDERING: Relaxed — cross-execution stats read after exploration.
+    assert_eq!(
+        peak.load(Ordering::Relaxed),
+        2,
+        "restores of distinct hashes never overlapped — readers are serialized"
+    );
+    println!("model cache-parallel-restore: {schedules} schedules");
+}
+
+#[test]
+fn mutation_claim_drop_without_notify_is_lost_wakeup() {
+    let peak = Arc::new(AtomicUsize::new(0));
+    let model = {
+        let p = Arc::clone(&peak);
+        move || cache_model(Mutation::DropClaimWithoutNotify, &[0, 0, 0], Arc::clone(&p))
+    };
+    let report = explore(&Config::new("cache-mut-no-notify"), model.clone());
+    let failure = report.expect_failure(FailureKind::LostWakeup).clone();
+    assert!(
+        failure.message.contains("inflight_cv"),
+        "waiter stuck on the claim condvar: {}",
+        failure.message
+    );
+    // Deterministic replay: same failure, same event sequence.
+    let re = replay(&Config::new("cache-mut-no-notify"), &failure.trace, model);
+    let rf = re.expect_failure(FailureKind::LostWakeup);
+    assert_eq!(rf.message, failure.message);
+    assert_eq!(rf.events, failure.events);
+}
+
+#[test]
+fn mutation_skip_recheck_is_double_restore() {
+    let peak = Arc::new(AtomicUsize::new(0));
+    let model = {
+        let p = Arc::clone(&peak);
+        move || cache_model(Mutation::SkipRecheckUnderClaim, &[0, 0], Arc::clone(&p))
+    };
+    let report = explore(&Config::new("cache-mut-no-recheck"), model.clone());
+    let failure = report
+        .expect_failure(FailureKind::InvariantViolation)
+        .clone();
+    assert!(
+        failure.message.contains("read 2 times"),
+        "{}",
+        failure.message
+    );
+    let re = replay(&Config::new("cache-mut-no-recheck"), &failure.trace, model);
+    let rf = re.expect_failure(FailureKind::InvariantViolation);
+    assert_eq!(rf.message, failure.message);
+    assert_eq!(rf.events, failure.events);
+}

@@ -1,0 +1,212 @@
+//! hddm-check model of the persist store's writer-mutex/index-RwLock
+//! split.
+//!
+//! Mirrors `crates/scenarios/src/persist.rs` (`Store::insert` /
+//! `Store::lookup`): the record file is written *before* the writer
+//! mutex is taken, the index update happens under a short `RwLock`
+//! write, the manifest rewrite happens under the writer mutex only (a
+//! by-design, baselined lock-over-io — expressed here with
+//! `io_step_allowing`), and evicted record files are deleted *after*
+//! the index guard is dropped (the discipline PR 8's HL003 encoded
+//! syntactically). The read path snapshots the manifest entry under
+//! the read lock and does its file read with no lock held.
+//!
+//! Checked properties:
+//! - **readers never block on writer I/O**: a reader's record-file
+//!   read overlaps the writer's manifest write in some schedule
+//!   (cross-execution existential check);
+//! - **lock discipline**: no thread ever does record I/O while holding
+//!   a checked lock, except the manifest write under the writer mutex;
+//! - liveness: no deadlock/lost wakeup between the two locks.
+//!
+//! Mutations:
+//! - `EvictInsideIndexGuard` — the evicted-file deletion moves inside
+//!   the index write guard (the exact regression PR 8 baselined
+//!   against) → io-under-lock invariant violation;
+//! - `ReadLockUpgrade` — the reader re-locks the index for write while
+//!   still holding its read guard (an "upgrade") → deadlock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hddm_check::{
+    explore, io_step, io_step_allowing, replay, spawn, CheckedAtomicBool, CheckedMutex,
+    CheckedRwLock, Config, FailureKind,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mutation {
+    None,
+    EvictInsideIndexGuard,
+    ReadLockUpgrade,
+}
+
+/// Model-level `Store`: the manifest index rows are just hashes, the
+/// writer mutex serializes deposits, and a flag marks the window in
+/// which the writer is inside its manifest I/O.
+struct StoreModel {
+    index: CheckedRwLock<Vec<u64>>,
+    writer: CheckedMutex<()>,
+    writer_in_manifest_io: CheckedAtomicBool,
+    mutation: Mutation,
+}
+
+impl StoreModel {
+    fn new(mutation: Mutation) -> Arc<StoreModel> {
+        Arc::new(StoreModel {
+            // Seeded with hash 9 (oldest, evicted by the next deposit)
+            // and hash 0 (the readers' target, which survives).
+            index: CheckedRwLock::named("index", vec![9, 0]),
+            writer: CheckedMutex::named("writer", ()),
+            writer_in_manifest_io: CheckedAtomicBool::named("writer_in_manifest_io", false),
+            mutation,
+        })
+    }
+
+    /// Mirrors `Store::insert`: record write → writer mutex → index
+    /// update (short write lock) → manifest write (writer mutex only,
+    /// by design) → evicted files deleted after the index guard drop.
+    fn insert(&self, hash: u64, max_entries: usize) {
+        // The record file is written before the mutex is taken —
+        // concurrent readers never wait on a writer's disk I/O.
+        io_step("write record file");
+        let guard = self.writer.lock();
+        let evicted: Vec<u64> = {
+            let mut index = self.index.write();
+            index.push(hash);
+            let excess = index.len().saturating_sub(max_entries);
+            let evicted: Vec<u64> = index.drain(..excess).collect();
+            if self.mutation == Mutation::EvictInsideIndexGuard {
+                for _ in &evicted {
+                    // BUG under test: file deletion while the index
+                    // write guard is live — readers stall on disk I/O.
+                    io_step_allowing("remove evicted record file", &[&self.writer]);
+                }
+            }
+            evicted
+        };
+        self.writer_in_manifest_io.store(true);
+        // Manifest rewrite under the writer mutex only: the by-design,
+        // baselined lock-over-io (HL003 baseline "writer mutex over
+        // manifest I/O by design").
+        io_step_allowing("write manifest", &[&self.writer]);
+        self.writer_in_manifest_io.store(false);
+        if self.mutation != Mutation::EvictInsideIndexGuard {
+            for _ in &evicted {
+                io_step_allowing("remove evicted record file", &[&self.writer]);
+            }
+        }
+        drop(guard);
+    }
+
+    /// Mirrors the `Store` read path: snapshot the manifest entry under
+    /// the read lock, release it, read the record file with no lock
+    /// held. Returns whether the read overlapped the writer's manifest
+    /// I/O (the "readers never block on writers" witness).
+    fn lookup(&self, hash: u64) -> bool {
+        let found = {
+            let index = self.index.read();
+            if self.mutation == Mutation::ReadLockUpgrade {
+                // BUG under test: lock upgrade — re-entrant write
+                // acquisition while our own read guard is live.
+                let mut w = self.index.write();
+                w.sort_unstable();
+            }
+            index.contains(&hash)
+        };
+        if found {
+            let overlapped = self.writer_in_manifest_io.peek();
+            io_step("read record file");
+            return overlapped;
+        }
+        false
+    }
+}
+
+/// One writer depositing (with eviction), two readers looking up the
+/// pre-seeded hash 0. `overlap_seen` records (across executions)
+/// whether a reader's file read ever ran inside the writer's manifest
+/// I/O window.
+fn persist_model(mutation: Mutation, overlap_seen: Arc<AtomicBool>) {
+    let m = StoreModel::new(mutation);
+    let w = {
+        let m = Arc::clone(&m);
+        spawn("depositor", move || m.insert(1, 2))
+    };
+    let readers: Vec<_> = (0..2)
+        .map(|i| {
+            let m = Arc::clone(&m);
+            spawn(&format!("reader-{i}"), move || m.lookup(0))
+        })
+        .collect();
+    let mut overlapped = false;
+    for r in readers {
+        overlapped |= r.join();
+    }
+    w.join();
+    if overlapped {
+        // ORDERING: Relaxed — cross-execution stats outside the model.
+        overlap_seen.store(true, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn persist_split_explores_clean_and_readers_overlap_writer_io() {
+    let overlap = Arc::new(AtomicBool::new(false));
+    let o = Arc::clone(&overlap);
+    let report = explore(&Config::new("persist-writer-split"), move || {
+        persist_model(Mutation::None, Arc::clone(&o))
+    });
+    let schedules = report.assert_clean();
+    // ORDERING: Relaxed — read after exploration finished.
+    assert!(
+        overlap.load(Ordering::Relaxed),
+        "no schedule overlapped a reader's record read with the writer's \
+         manifest I/O — readers are blocking on writer I/O"
+    );
+    println!(
+        "model persist-writer-split: {} schedules, max {} steps",
+        schedules, report.max_steps_seen
+    );
+}
+
+#[test]
+fn mutation_evict_inside_index_guard_is_io_under_lock() {
+    let overlap = Arc::new(AtomicBool::new(false));
+    let model = {
+        let o = Arc::clone(&overlap);
+        move || persist_model(Mutation::EvictInsideIndexGuard, Arc::clone(&o))
+    };
+    let report = explore(&Config::new("persist-mut-evict-under-lock"), model.clone());
+    let failure = report
+        .expect_failure(FailureKind::InvariantViolation)
+        .clone();
+    assert!(
+        failure.message.contains("index"),
+        "must name the held lock: {}",
+        failure.message
+    );
+    let re = replay(
+        &Config::new("persist-mut-evict-under-lock"),
+        &failure.trace,
+        model,
+    );
+    let rf = re.expect_failure(FailureKind::InvariantViolation);
+    assert_eq!(rf.message, failure.message);
+    assert_eq!(rf.events, failure.events);
+}
+
+#[test]
+fn mutation_read_lock_upgrade_is_deadlock() {
+    let overlap = Arc::new(AtomicBool::new(false));
+    let model = {
+        let o = Arc::clone(&overlap);
+        move || persist_model(Mutation::ReadLockUpgrade, Arc::clone(&o))
+    };
+    let report = explore(&Config::new("persist-mut-upgrade"), model.clone());
+    let failure = report.expect_failure(FailureKind::Deadlock).clone();
+    let re = replay(&Config::new("persist-mut-upgrade"), &failure.trace, model);
+    let rf = re.expect_failure(FailureKind::Deadlock);
+    assert_eq!(rf.message, failure.message);
+    assert_eq!(rf.events, failure.events);
+}

@@ -1,0 +1,340 @@
+//! hddm-check model of the dispatcher's queue lifecycle.
+//!
+//! Mirrors `crates/serve/src/service.rs` — `submit` (enqueue/coalesce/
+//! shutdown-reject), `Ticket::wait` (slot mutex + condvar), `Group`
+//! (waiter fan-out, drop-guard `WorkerLost` backstop),
+//! `dispatcher_loop` (wait for work or shutdown → linger `wait_timeout`
+//! → seal-time deadline shed → pop up to `max_batch` → solve outside
+//! the lock → fulfill), and `ScenarioService::drop` (set shutdown,
+//! notify, join — graceful drain because the dispatcher keeps draining
+//! a non-empty queue even after shutdown).
+//!
+//! Checked properties:
+//! - **no request dropped un-answered**: every admitted ticket's wait
+//!   terminates with exactly one answer (solved, shed, or worker-lost;
+//!   double-fulfills trip an invariant the moment they happen);
+//! - liveness: no deadlock or lost wakeup across the queue condvar,
+//!   ticket slots, and shutdown — including the linger `wait_timeout`
+//!   (the checker's lazy timeout must never report the linger as a
+//!   lost wakeup);
+//! - deadline shedding and coalescing explored via `choose` (each
+//!   waiter's expiry is a value decision).
+//!
+//! Mutation:
+//! - `ExitBeforeDrain` — the dispatcher checks `shutdown` *before*
+//!   "queue non-empty" (seal racing shutdown) and the `Group` drop
+//!   guard is disabled: an admitted group left in the queue at
+//!   shutdown is never answered → its ticket's wait is a lost wakeup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hddm_check::{
+    choose, explore, register_invariant, replay, spawn, step, CheckedAtomicUsize, CheckedCondvar,
+    CheckedMutex, Config, FailureKind,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mutation {
+    None,
+    ExitBeforeDrain,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Answer {
+    Solved,
+    Shed,
+    WorkerLost,
+    Rejected,
+}
+
+/// `Ticket` slot: result mutex + condvar, exactly as in `service.rs`.
+struct TicketSlot {
+    slot: CheckedMutex<Option<Answer>>,
+    cv: CheckedCondvar,
+}
+
+impl TicketSlot {
+    fn new(i: usize) -> Arc<TicketSlot> {
+        Arc::new(TicketSlot {
+            slot: CheckedMutex::named(&format!("slot{i}"), None),
+            cv: CheckedCondvar::named(&format!("slot{i}_cv")),
+        })
+    }
+
+    /// Mirrors `Ticket::wait`.
+    fn wait(&self) -> Answer {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cv.wait(slot);
+        }
+    }
+}
+
+/// One queued group: waiter slots + expiry flags + the drop-guard
+/// `fulfilled` marker.
+struct Group {
+    hash: u64,
+    waiters: Vec<(Arc<TicketSlot>, bool)>, // (slot, expired)
+    fulfilled: bool,
+}
+
+struct SvcModel {
+    queue: CheckedMutex<(Vec<Group>, bool)>, // (groups, shutdown)
+    queue_cv: CheckedCondvar,
+    fulfills: CheckedAtomicUsize,
+    double_fulfills: CheckedAtomicUsize,
+    mutation: Mutation,
+}
+
+const MAX_BATCH: usize = 2;
+
+impl SvcModel {
+    fn new(mutation: Mutation) -> Arc<SvcModel> {
+        Arc::new(SvcModel {
+            queue: CheckedMutex::named("queue", (Vec::new(), false)),
+            queue_cv: CheckedCondvar::named("queue_cv"),
+            fulfills: CheckedAtomicUsize::named("fulfills", 0),
+            double_fulfills: CheckedAtomicUsize::named("double_fulfills", 0),
+            mutation,
+        })
+    }
+
+    fn fulfill_waiter(&self, slot: &TicketSlot, answer: Answer) {
+        let mut g = slot.slot.lock();
+        if g.is_some() {
+            self.double_fulfills.fetch_add(1);
+        }
+        *g = Some(answer);
+        drop(g);
+        slot.cv.notify_all();
+        self.fulfills.fetch_add(1);
+    }
+
+    fn fulfill_group(&self, group: &mut Group, answer: Answer) {
+        group.fulfilled = true;
+        for (slot, _) in group.waiters.drain(..) {
+            self.fulfill_waiter(&slot, answer);
+        }
+    }
+
+    /// Mirrors `ScenarioService::submit`: shutdown-reject, coalesce
+    /// onto an existing group for the same hash, else enqueue.
+    /// `expired` models the waiter's deadline having passed by seal
+    /// time (a `choose` at the call site).
+    fn submit(&self, i: usize, hash: u64, expired: bool) -> Result<Arc<TicketSlot>, Answer> {
+        let slot = TicketSlot::new(i);
+        {
+            let mut q = self.queue.lock();
+            if q.1 {
+                return Err(Answer::Rejected);
+            }
+            if let Some(g) = q.0.iter_mut().find(|g| g.hash == hash) {
+                g.waiters.push((Arc::clone(&slot), expired)); // coalesce
+            } else {
+                q.0.push(Group {
+                    hash,
+                    waiters: vec![(Arc::clone(&slot), expired)],
+                    fulfilled: false,
+                });
+            }
+        }
+        self.queue_cv.notify_all();
+        Ok(slot)
+    }
+
+    /// Mirrors `dispatcher_loop`.
+    fn dispatcher(&self) {
+        loop {
+            let mut batch: Vec<Group> = Vec::new();
+            {
+                let mut q = self.queue.lock();
+                loop {
+                    if self.mutation == Mutation::ExitBeforeDrain {
+                        // BUG under test: seal racing shutdown — exits
+                        // with admitted groups still queued.
+                        if q.1 {
+                            return;
+                        }
+                        if !q.0.is_empty() {
+                            break;
+                        }
+                    } else {
+                        if !q.0.is_empty() {
+                            break;
+                        }
+                        if q.1 {
+                            return;
+                        }
+                    }
+                    q = self.queue_cv.wait(q);
+                }
+                // Coalescing window: hold the batch open briefly
+                // (unless already full or shutting down).
+                while q.0.len() < MAX_BATCH && !q.1 {
+                    let (qq, timed_out) = self.queue_cv.wait_timeout(q);
+                    q = qq;
+                    if timed_out {
+                        break;
+                    }
+                }
+                // Seal-time shedding + pop up to max_batch.
+                while batch.len() < MAX_BATCH && !q.0.is_empty() {
+                    let mut group = q.0.remove(0);
+                    // `shed_expired`: answer expired waiters now; keep
+                    // the group only if live waiters remain.
+                    let mut live = Vec::new();
+                    for (slot, expired) in group.waiters.drain(..) {
+                        if expired {
+                            self.fulfill_waiter(&slot, Answer::Shed);
+                        } else {
+                            live.push((slot, expired));
+                        }
+                    }
+                    group.waiters = live;
+                    if group.waiters.is_empty() {
+                        group.fulfilled = true; // no solve owed
+                    } else {
+                        batch.push(group);
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                // The solve runs outside the queue lock.
+                step("run_batch solve");
+                for mut group in batch {
+                    self.fulfill_group(&mut group, Answer::Solved);
+                }
+            }
+        }
+    }
+
+    /// Mirrors `ScenarioService::drop`: flag shutdown, wake the
+    /// dispatcher, join it, then run the `Group` drop-guard backstop
+    /// over whatever is left (in the real code the guard runs when the
+    /// queue is dropped; the mutation disables it to expose the
+    /// un-drained group).
+    fn shutdown(&self) {
+        {
+            let mut q = self.queue.lock();
+            q.1 = true;
+        }
+        self.queue_cv.notify_all();
+    }
+
+    fn drop_queue(&self) {
+        if self.mutation == Mutation::ExitBeforeDrain {
+            return; // backstop disabled: leaked groups stay un-answered
+        }
+        let mut q = self.queue.lock();
+        let mut groups = std::mem::take(&mut q.0);
+        drop(q);
+        for group in groups.iter_mut() {
+            if !group.fulfilled {
+                self.fulfill_group(group, Answer::WorkerLost);
+            }
+        }
+    }
+}
+
+/// Two submitters racing the dispatcher and shutdown: same hash (so
+/// coalescing is explored), per-waiter expiry from `choose`. Every
+/// admitted ticket must see exactly one answer.
+fn dispatch_model(mutation: Mutation, answers_seen: Arc<AtomicUsize>) {
+    let m = SvcModel::new(mutation);
+    {
+        let m2 = Arc::clone(&m);
+        register_invariant("no ticket fulfilled twice", move || {
+            let n = m2.double_fulfills.peek();
+            if n == 0 {
+                Ok(())
+            } else {
+                Err(format!("{n} double-fulfilled ticket(s)"))
+            }
+        });
+    }
+    let dispatcher = {
+        let m = Arc::clone(&m);
+        spawn("dispatcher", move || m.dispatcher())
+    };
+    let submitters: Vec<_> = (0..2)
+        .map(|i| {
+            let m = Arc::clone(&m);
+            spawn(&format!("submitter-{i}"), move || {
+                let expired = choose(2) == 1;
+                match m.submit(i, 7, expired) {
+                    Ok(slot) => Some(slot.wait()),
+                    Err(_rejected) => None,
+                }
+            })
+        })
+        .collect();
+    m.shutdown();
+    let answers: Vec<Option<Answer>> = submitters.into_iter().map(|s| s.join()).collect();
+    dispatcher.join();
+    m.drop_queue();
+    // Terminal bookkeeping: every admitted ticket answered exactly once.
+    let admitted = answers.iter().filter(|a| a.is_some()).count();
+    assert_eq!(
+        m.fulfills.peek(),
+        admitted,
+        "answers delivered != tickets admitted"
+    );
+    for a in answers.iter().flatten() {
+        assert!(
+            matches!(a, Answer::Solved | Answer::Shed | Answer::WorkerLost),
+            "unexpected terminal answer {a:?}"
+        );
+    }
+    // ORDERING: Relaxed — cross-execution stats outside the model.
+    answers_seen.fetch_add(admitted, Ordering::Relaxed);
+}
+
+#[test]
+fn dispatcher_lifecycle_explores_clean() {
+    let seen = Arc::new(AtomicUsize::new(0));
+    let s = Arc::clone(&seen);
+    let report = explore(&Config::new("dispatch-lifecycle"), move || {
+        dispatch_model(Mutation::None, Arc::clone(&s))
+    });
+    let schedules = report.assert_clean();
+    // ORDERING: Relaxed — read after exploration finished.
+    assert!(
+        seen.load(Ordering::Relaxed) > 0,
+        "some schedule must admit at least one ticket"
+    );
+    println!(
+        "model dispatch-lifecycle: {} schedules, max {} steps",
+        schedules, report.max_steps_seen
+    );
+}
+
+#[test]
+fn mutation_exit_before_drain_is_lost_wakeup() {
+    let seen = Arc::new(AtomicUsize::new(0));
+    let model = {
+        let s = Arc::clone(&seen);
+        move || dispatch_model(Mutation::ExitBeforeDrain, Arc::clone(&s))
+    };
+    let report = explore(
+        &Config::new("dispatch-mut-exit-before-drain"),
+        model.clone(),
+    );
+    let failure = report.expect_failure(FailureKind::LostWakeup).clone();
+    assert!(
+        failure.message.contains("slot"),
+        "the stranded thread waits on its ticket slot: {}",
+        failure.message
+    );
+    let re = replay(
+        &Config::new("dispatch-mut-exit-before-drain"),
+        &failure.trace,
+        model,
+    );
+    let rf = re.expect_failure(FailureKind::LostWakeup);
+    assert_eq!(rf.message, failure.message);
+    assert_eq!(rf.events, failure.events);
+}
