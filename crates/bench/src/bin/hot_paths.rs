@@ -6,16 +6,21 @@
 //!
 //! ```text
 //! cargo run --release -p hddm-bench --bin hot-paths -- \
-//!     [--smoke] [--out BENCH_hotpaths.json] [--expect-speedup 2.0] [--threads N]
+//!     [--smoke] [--out BENCH_hotpaths.json] [--expect-speedup 2.0] \
+//!     [--expect-gpu-speedup 2.0] [--threads N]
 //! ```
 //!
 //! `--smoke` shrinks repetitions (and drops the 300k case) so CI finishes
 //! in seconds; `--expect-speedup X` exits non-zero unless every batched
 //! interpolation measurement at `npts ≥ 64` reaches `X ×` the
 //! single-point points/sec — the acceptance gate on the batch engine.
-//! `--threads N` overrides the detected parallelism for the threaded
-//! batch rows, so the mt kernel is exercised (and recorded, rather than
-//! `"skipped"`) even on hosts that report a single core.
+//! `--expect-gpu-speedup X` applies the same `npts ≥ 64` floor to the
+//! GPU rows: modeled device points/sec (`hddm_gpu::interpolate_block`,
+//! P100 roofline, launch latency and PCIe included) over the measured
+//! single-point host points/sec. `--threads N` overrides the detected
+//! parallelism for the threaded batch rows, so the mt kernel is
+//! exercised (and recorded, rather than `"skipped"`) even on hosts that
+//! report a single core.
 
 use std::time::Instant;
 
@@ -25,6 +30,7 @@ use hddm_asg::{refine_frontier, regular_grid, RefineConfig, SparseGrid, SurplusN
 use hddm_bench::{random_points, synthetic_surpluses, NDOFS};
 use hddm_compress::{builds_total, CompressedGrid};
 use hddm_core::IncrementalHierarchizer;
+use hddm_gpu::{interpolate_block, Device, LaunchOptions};
 use hddm_kernels::{batch, CompressedState, KernelKind, PointBlock, Scratch, VectorIsa};
 
 /// The threaded-batch measurement of a row. `Skipped` (serialized as the
@@ -63,6 +69,17 @@ struct InterpolationRow {
     batch_mt_pps: MtThroughput,
     /// `batch_pps / single_pps`.
     speedup: f64,
+    /// Modeled device points per second through the GPU backend
+    /// (`interpolate_block` on the P100 device model: launch latency +
+    /// PCIe point/result transfers + roofline kernel time per 64-point
+    /// chunk; surface upload excluded — the pool's one-time cost).
+    gpu_pps: f64,
+    /// Simulated kernel launches for the block (one per 64-point chunk).
+    gpu_launches: usize,
+    /// Achieved occupancy of the launches, in `[0, 1]`.
+    gpu_occupancy: f64,
+    /// `gpu_pps / single_pps` — modeled device vs measured host.
+    gpu_speedup: f64,
 }
 
 /// The incremental-surplus measurement: one adaptive grid construction,
@@ -107,6 +124,8 @@ fn main() {
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_hotpaths.json".into());
     let expect_speedup: Option<f64> = flag_value(&args, "--expect-speedup")
         .map(|v| v.parse().expect("--expect-speedup takes a number"));
+    let expect_gpu_speedup: Option<f64> = flag_value(&args, "--expect-gpu-speedup")
+        .map(|v| v.parse().expect("--expect-gpu-speedup takes a number"));
 
     let threads = match flag_value(&args, "--threads") {
         Some(v) => {
@@ -152,8 +171,16 @@ fn main() {
         for &npts in block_sizes {
             let row = bench_interpolation(name, &state, npts, smoke, threads);
             println!(
-                "  npts={:4}  single {:>12.0} pts/s  batch {:>12.0} pts/s  speedup {:.2}x",
-                npts, row.single_pps, row.batch_pps, row.speedup
+                "  npts={:4}  single {:>12.0} pts/s  batch {:>12.0} pts/s  speedup {:.2}x  \
+                 gpu {:>12.0} pts/s ({} launches, occ {:.2}) gpu-speedup {:.2}x",
+                npts,
+                row.single_pps,
+                row.batch_pps,
+                row.speedup,
+                row.gpu_pps,
+                row.gpu_launches,
+                row.gpu_occupancy,
+                row.gpu_speedup
             );
             interpolation.push(row);
         }
@@ -209,8 +236,9 @@ fn main() {
             // Below the dispatch crossover the batch entry point routes
             // through the single-point kernel, so small blocks must
             // never regress (0.95 leaves room for timer noise around a
-            // true ratio of 1.0).
-            if row.npts < batch::BATCH_CROSSOVER && row.speedup < 0.95 {
+            // true ratio of 1.0). The crossover is grid-size-aware: on
+            // ≥ 100k-node grids blocks of 2 also route single-point.
+            if row.npts < batch::batch_crossover(row.grid_points) && row.speedup < 0.95 {
                 eprintln!(
                     "FAIL: {} npts={} speedup {:.2}x — small blocks must not \
                      regress through the batch entry point",
@@ -223,6 +251,23 @@ fn main() {
             std::process::exit(1);
         }
         println!("all gated measurements clear the {floor}x floor");
+    }
+
+    if let Some(floor) = expect_gpu_speedup {
+        let mut failed = false;
+        for row in &report.interpolation {
+            if row.npts >= 64 && row.gpu_speedup < floor {
+                eprintln!(
+                    "FAIL: {} npts={} gpu speedup {:.2}x below the {floor}x floor",
+                    row.case, row.npts, row.gpu_speedup
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("all gpu rows at npts >= 64 clear the {floor}x floor");
     }
 }
 
@@ -305,6 +350,18 @@ fn bench_interpolation(
         }
     }
 
+    // The GPU row is modeled, not measured: the device model's cost
+    // report is deterministic, so one evaluation suffices. The values it
+    // produces must match the scalar batch path bitwise (the golden
+    // suite's contract, re-checked here on the bench grids).
+    let device = Device::p100();
+    let options = LaunchOptions::default();
+    let mut out_gpu = vec![0.0; npts * ndofs];
+    let timing = interpolate_block(&device, &options, state, &block, &mut scratch, &mut out_gpu)
+        .expect("bench grids launch cleanly on the P100 model");
+    batch::interpolate_batch(state, &block, &mut scratch, &mut out_batch);
+    assert_eq!(out_gpu, out_batch, "gpu/scalar-batch mismatch");
+
     let total = (reps * npts) as f64;
     InterpolationRow {
         case: case.into(),
@@ -320,6 +377,11 @@ fn bench_interpolation(
             MtThroughput::Skipped
         },
         speedup: single_seconds / batch_seconds.max(1e-12),
+        gpu_pps: npts as f64 / timing.modeled_seconds.max(1e-12),
+        gpu_launches: timing.launches,
+        gpu_occupancy: timing.occupancy,
+        gpu_speedup: (npts as f64 / timing.modeled_seconds.max(1e-12))
+            / (total / single_seconds.max(1e-12)).max(1e-12),
     }
 }
 

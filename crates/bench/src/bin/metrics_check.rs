@@ -1,7 +1,8 @@
 //! CI validator for telemetry snapshots written by `--metrics-out`:
 //! parses the JSON, checks the required instrument names for the
 //! requested surface (`--sweep` for solve/cache metrics, `--serve` for
-//! the serving front-end), and enforces the admission identity
+//! the serving front-end, `--gpu` for the device backend), and enforces
+//! the admission identity
 //!
 //! ```text
 //! submitted == exact_hits + enqueued_groups + coalesced_waiters
@@ -18,6 +19,7 @@
 
 use std::process::ExitCode;
 
+use hddm_gpu::backend::metric;
 use hddm_telemetry::Snapshot;
 
 const SWEEP_COUNTERS: &[&str] = &[
@@ -60,11 +62,22 @@ const SERVE_HISTOGRAMS: &[&str] = &[
     "hddm_serve_queue_wait_seconds",
     "hddm_serve_batch_solve_seconds",
 ];
+// Shared with the emitter (`hddm_gpu::backend::metric`) so the required
+// list cannot drift from what the engine actually registers.
+const GPU_COUNTERS: &[&str] = &[
+    metric::LAUNCHES,
+    metric::UPLOADS,
+    metric::POOL_HITS,
+    metric::POOL_EVICTIONS,
+];
+const GPU_GAUGES: &[&str] = &[metric::OCCUPANCY, metric::POOL_RESIDENT_BYTES];
+const GPU_HISTOGRAMS: &[&str] = &[metric::UPLOAD_SECONDS, metric::KERNEL_SECONDS];
 
 struct Args {
     path: String,
     sweep: bool,
     serve: bool,
+    gpu: bool,
     print: bool,
 }
 
@@ -72,11 +85,13 @@ fn parse_args() -> Result<Args, String> {
     let mut path = None;
     let mut sweep = false;
     let mut serve = false;
+    let mut gpu = false;
     let mut print = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--sweep" => sweep = true,
             "--serve" => serve = true,
+            "--gpu" => gpu = true,
             "--print" => print = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
             other => {
@@ -87,9 +102,11 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(Args {
-        path: path.ok_or("usage: metrics-check <snapshot.json> [--sweep] [--serve] [--print]")?,
+        path: path
+            .ok_or("usage: metrics-check <snapshot.json> [--sweep] [--serve] [--gpu] [--print]")?,
         sweep,
         serve,
+        gpu,
         print,
     })
 }
@@ -148,6 +165,11 @@ fn run() -> Result<(), String> {
         require(SERVE_GAUGES, "gauge");
         require(SERVE_HISTOGRAMS, "histogram");
     }
+    if args.gpu {
+        require(GPU_COUNTERS, "counter");
+        require(GPU_GAUGES, "gauge");
+        require(GPU_HISTOGRAMS, "histogram");
+    }
     if !missing.is_empty() {
         return Err(format!("missing instruments: {missing:?}"));
     }
@@ -168,6 +190,31 @@ fn run() -> Result<(), String> {
         println!(
             "metrics-check: admission identity holds ({submitted} submitted == {accounted} \
              accounted)"
+        );
+    }
+
+    if args.gpu {
+        let c = |name: &str| snapshot.counter(name).unwrap_or(0);
+        // Every evicted surface was first uploaded, so evictions can
+        // never outrun uploads; and a launch implies its surface went
+        // through the pool (upload or hit).
+        let uploads = c(metric::UPLOADS);
+        let evictions = c(metric::POOL_EVICTIONS);
+        if evictions > uploads {
+            return Err(format!(
+                "gpu pool identity violated: {evictions} evictions > {uploads} uploads"
+            ));
+        }
+        let launches = c(metric::LAUNCHES);
+        let residency = uploads + c(metric::POOL_HITS);
+        if launches > 0 && residency == 0 {
+            return Err(format!(
+                "gpu pool identity violated: {launches} launches with no residency events"
+            ));
+        }
+        println!(
+            "metrics-check: gpu identities hold ({launches} launches, {uploads} uploads, \
+             {evictions} evictions)"
         );
     }
 

@@ -17,10 +17,16 @@
 //! Exits non-zero if any scenario fails to converge, or — with
 //! `--expect-all-exact` — if any scenario was not served as a zero-step
 //! exact cache hit (the CI smoke contract for the persistent cache).
+//!
+//! `--backend gpu` routes every scenario's driver through the batched
+//! GPU backend (one shared device pool and engine across the sweep,
+//! registered on the cache's telemetry registry — `--metrics-out`
+//! snapshots then carry the `hddm_gpu_*` instruments).
 
 use std::process::ExitCode;
 
 use hddm_cluster::{mixed_fleet, Assignment};
+use hddm_gpu::{ExecutionBackend, GpuEngine};
 use hddm_scenarios::{
     run_set, run_single, CacheKind, EvictionPolicy, ExecutorConfig, Knob, ScenarioSet, SurfaceCache,
 };
@@ -36,6 +42,7 @@ struct Args {
     cache_max_bytes: Option<u64>,
     expect_all_exact: bool,
     metrics_out: Option<String>,
+    gpu: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         cache_max_bytes: None,
         expect_all_exact: false,
         metrics_out: None,
+        gpu: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,6 +100,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--expect-all-exact" => args.expect_all_exact = true,
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--backend" => match value("--backend")?.as_str() {
+                "cpu" => args.gpu = false,
+                "gpu" => args.gpu = true,
+                other => return Err(format!("--backend takes cpu or gpu, not {other:?}")),
+            },
             other => return Err(format!("unknown flag {other:?} (try --demo)")),
         }
     }
@@ -127,7 +140,7 @@ fn main() -> ExitCode {
         set.scenarios.extend(extra.scenarios);
     }
 
-    let config = ExecutorConfig {
+    let mut config = ExecutorConfig {
         fleet: mixed_fleet(2, 2),
         assignment: Assignment::WorkStealing { chunk: 1 },
         threads: args.threads,
@@ -145,6 +158,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.gpu {
+        // One engine (device + surface pool) shared by every scenario,
+        // instrumented on the same registry the sweep snapshots.
+        config.backend = ExecutionBackend::Gpu(GpuEngine::with_registry(cache.registry()));
+    }
 
     println!(
         "Scenario sweep: {} scenarios (lifespan {}, work years {}), fleet 2x daint + 2x tave, {} host thread(s)\n",

@@ -12,6 +12,7 @@ use hddm_telemetry::{Histogram, Registry};
 
 use hddm_asg::{refine_frontier, regular_grid, BoxDomain, RefineConfig, SparseGrid, SurplusNorm};
 use hddm_compress::CompressedGrid;
+use hddm_gpu::ExecutionBackend;
 use hddm_kernels::{CompressedState, KernelKind, PointBlock, Scratch};
 use hddm_olg::PolicyOracle;
 use hddm_sched::{parallel_for_init, PoolConfig};
@@ -51,6 +52,13 @@ pub trait StepModel: Sync {
 pub struct DriverConfig {
     /// Interpolation kernel for `pnext` evaluations.
     pub kernel: KernelKind,
+    /// Which engine evaluates batched `PointBlock` calls (warm-start
+    /// frontier evaluation, change measurement, incremental
+    /// hierarchization). [`ExecutionBackend::Cpu`] dispatches through
+    /// `kernel`; [`ExecutionBackend::Gpu`] routes blocks through the
+    /// simulated device (single-point oracle calls inside the per-point
+    /// solver stay on the CPU either way).
+    pub backend: ExecutionBackend,
     /// Regular sparse-grid level every step starts from (the paper
     /// restarts from level 2).
     pub start_level: u8,
@@ -76,6 +84,7 @@ impl Default for DriverConfig {
     fn default() -> Self {
         DriverConfig {
             kernel: KernelKind::Avx2,
+            backend: ExecutionBackend::Cpu,
             start_level: 2,
             refine_epsilon: None,
             max_level: 6,
@@ -242,7 +251,12 @@ impl<M: StepModel> TimeIteration<M> {
             let mut frontier: Vec<u32> = (0..grid.len() as u32).collect();
             let mut surpluses: Vec<f64> = Vec::new();
             let mut levels_here: Vec<usize> = Vec::new();
-            let mut hier = IncrementalHierarchizer::new(self.config.kernel, dim, ndofs);
+            let mut hier = IncrementalHierarchizer::with_backend(
+                self.config.kernel,
+                self.config.backend.clone(),
+                dim,
+                ndofs,
+            );
 
             loop {
                 levels_here.push(frontier.len());
@@ -344,6 +358,32 @@ impl<M: StepModel> TimeIteration<M> {
         let policy = &self.policy;
         let kernel = self.config.kernel;
 
+        // Warm starts — pnext at every frontier point — as ONE batched
+        // evaluation through the backend before dispatch, instead of a
+        // single-point oracle call inside each task: the whole frontier
+        // walks the compressed structure once (bitwise equal per point,
+        // so the solves are unchanged).
+        let warm_rows = {
+            let mut unit = vec![0.0; dim];
+            let mut point_rows = Vec::with_capacity(frontier.len() * dim);
+            for &p in frontier {
+                grid.unit_point_of(p as usize, &mut unit);
+                point_rows.extend_from_slice(&unit);
+            }
+            let block = PointBlock::from_rows(dim, &point_rows);
+            let mut scratch = Scratch::default();
+            let mut warm = vec![0.0; frontier.len() * ndofs];
+            self.config.backend.evaluate_batch(
+                kernel,
+                policy.states.state(z),
+                &block,
+                &mut scratch,
+                &mut warm,
+            );
+            warm
+        };
+        let warm_rows = &warm_rows;
+
         parallel_for_init(
             frontier.len(),
             &self.config.pool,
@@ -352,14 +392,13 @@ impl<M: StepModel> TimeIteration<M> {
                     policy.oracle(kernel),
                     vec![0.0; dim], // unit point
                     vec![0.0; dim], // physical point
-                    vec![0.0; ndofs],
                 )
             },
-            |(oracle, unit, phys, warm), i| {
+            |(oracle, unit, phys), i| {
                 grid.unit_point_of(frontier[i] as usize, unit);
                 domain.from_unit(unit, phys);
-                // Warm start: pnext at this very point.
-                oracle.eval_unit(z, unit, warm);
+                // Warm start: pnext at this very point (precomputed).
+                let warm = &warm_rows[i * ndofs..(i + 1) * ndofs];
                 let row = match model.solve_point_row(z, phys, warm, oracle) {
                     Ok(row) => row,
                     Err(_) => {
@@ -371,7 +410,7 @@ impl<M: StepModel> TimeIteration<M> {
                         let cold = model.initial_row();
                         model
                             .solve_point_row(z, phys, &cold, oracle)
-                            .unwrap_or_else(|_| warm.clone())
+                            .unwrap_or_else(|_| warm.to_vec())
                     }
                 };
                 rows.write_row(i, &row);
@@ -404,9 +443,9 @@ impl<M: StepModel> TimeIteration<M> {
         let block = PointBlock::from_rows(dim, &rows);
         let mut scratch = Scratch::default();
         let mut old = vec![0.0; frontier.len() * ndofs];
-        self.policy.states.evaluate_one_batch(
+        self.config.backend.evaluate_batch(
             self.config.kernel,
-            z,
+            self.policy.states.state(z),
             &block,
             &mut scratch,
             &mut old,
@@ -446,16 +485,30 @@ impl<M: StepModel> TimeIteration<M> {
 /// same rows gets bitwise identical surpluses.
 pub struct IncrementalHierarchizer {
     kernel: KernelKind,
+    backend: ExecutionBackend,
     ndofs: usize,
     state: CompressedState,
     scratch: Scratch,
 }
 
 impl IncrementalHierarchizer {
-    /// A fresh hierarchizer for one `(state, step)` grid construction.
+    /// A fresh hierarchizer for one `(state, step)` grid construction,
+    /// evaluating on the CPU kernels.
     pub fn new(kernel: KernelKind, dim: usize, ndofs: usize) -> Self {
+        Self::with_backend(kernel, ExecutionBackend::Cpu, dim, ndofs)
+    }
+
+    /// A fresh hierarchizer whose group evaluations dispatch through
+    /// `backend` ([`ExecutionBackend::Cpu`] reproduces [`Self::new`]).
+    pub fn with_backend(
+        kernel: KernelKind,
+        backend: ExecutionBackend,
+        dim: usize,
+        ndofs: usize,
+    ) -> Self {
         IncrementalHierarchizer {
             kernel,
+            backend,
             ndofs,
             state: CompressedState::empty(dim, ndofs),
             scratch: Scratch::default(),
@@ -518,7 +571,8 @@ impl IncrementalHierarchizer {
             let block = PointBlock::from_rows(dim, &point_rows);
             interp.clear();
             interp.resize(group.len() * ndofs, 0.0);
-            self.kernel.evaluate_compressed_batch(
+            self.backend.evaluate_batch(
+                self.kernel,
                 &self.state,
                 &block,
                 &mut self.scratch,

@@ -1,0 +1,324 @@
+//! Backend selection for the batched-kernel seam: every consumer that
+//! speaks `PointBlock` (driver hierarchization, change measurement,
+//! warm-start projection, the serve batch-solve path) dispatches through
+//! an [`ExecutionBackend`] — the CPU kernels by default, or a shared
+//! [`GpuEngine`] that routes each block through the simulated device
+//! with a device-resident surface pool and registry-backed telemetry.
+
+use std::sync::Arc;
+
+use hddm_kernels::{CompressedState, KernelKind, PointBlock, Scratch};
+use hddm_telemetry::{Counter, Gauge, Histogram, Registry};
+
+use crate::batch::{interpolate_block, BatchTiming};
+use crate::device::Device;
+use crate::kernel::LaunchOptions;
+use crate::pool::DevicePool;
+
+/// Default device-pool budget: the P100's 16 GB HBM2 minus headroom for
+/// launch scratch and transfer buffers.
+pub const DEFAULT_POOL_BYTES: usize = 14 << 30;
+
+/// Registry instrument names for the GPU engine (also listed by the
+/// `metrics-check` validator).
+pub mod metric {
+    /// Simulated kernel launches (one per 64-point chunk).
+    pub const LAUNCHES: &str = "hddm_gpu_launches_total";
+    /// Surface uploads (pool misses).
+    pub const UPLOADS: &str = "hddm_gpu_uploads_total";
+    /// Pool hits (surface already resident).
+    pub const POOL_HITS: &str = "hddm_gpu_pool_hits_total";
+    /// Surfaces evicted from the device pool.
+    pub const POOL_EVICTIONS: &str = "hddm_gpu_pool_evictions_total";
+    /// Achieved occupancy of the latest launch, in percent.
+    pub const OCCUPANCY: &str = "hddm_gpu_occupancy";
+    /// Device bytes currently resident in the pool.
+    pub const POOL_RESIDENT_BYTES: &str = "hddm_gpu_pool_resident_bytes";
+    /// Modeled PCIe upload seconds per pool miss.
+    pub const UPLOAD_SECONDS: &str = "hddm_gpu_upload_seconds";
+    /// Modeled kernel seconds per block evaluation.
+    pub const KERNEL_SECONDS: &str = "hddm_gpu_kernel_seconds";
+}
+
+struct GpuInstruments {
+    launches: Arc<Counter>,
+    uploads: Arc<Counter>,
+    pool_hits: Arc<Counter>,
+    pool_evictions: Arc<Counter>,
+    occupancy: Arc<Gauge>,
+    pool_resident_bytes: Arc<Gauge>,
+    upload_seconds: Arc<Histogram>,
+    kernel_seconds: Arc<Histogram>,
+}
+
+impl GpuInstruments {
+    fn new(registry: &Registry) -> GpuInstruments {
+        GpuInstruments {
+            launches: registry.counter(metric::LAUNCHES),
+            uploads: registry.counter(metric::UPLOADS),
+            pool_hits: registry.counter(metric::POOL_HITS),
+            pool_evictions: registry.counter(metric::POOL_EVICTIONS),
+            occupancy: registry.gauge(metric::OCCUPANCY),
+            pool_resident_bytes: registry.gauge(metric::POOL_RESIDENT_BYTES),
+            upload_seconds: registry.histogram(metric::UPLOAD_SECONDS),
+            kernel_seconds: registry.histogram(metric::KERNEL_SECONDS),
+        }
+    }
+}
+
+/// Report of one backend block evaluation on the device.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GpuRun {
+    /// Launch-level cost/occupancy of the evaluation.
+    pub timing: BatchTiming,
+    /// Modeled upload seconds paid by this call (0 on a pool hit).
+    pub upload_seconds: f64,
+    /// Whether the surface was already device-resident.
+    pub reused: bool,
+}
+
+struct EngineInner {
+    device: Device,
+    options: LaunchOptions,
+    pool: DevicePool,
+    instruments: Option<GpuInstruments>,
+}
+
+/// A shared handle to the simulated device: launch options, the
+/// device-resident surface pool, and (optionally) registry-backed
+/// telemetry. Cloning shares the pool — one device per fleet.
+#[derive(Clone)]
+pub struct GpuEngine {
+    inner: Arc<EngineInner>,
+}
+
+impl GpuEngine {
+    /// A P100 engine with default launch options and pool budget, no
+    /// telemetry.
+    pub fn new() -> GpuEngine {
+        GpuEngine::configured(
+            Device::p100(),
+            LaunchOptions::default(),
+            DEFAULT_POOL_BYTES,
+            None,
+        )
+    }
+
+    /// A default engine whose instruments register in `registry`.
+    pub fn with_registry(registry: &Registry) -> GpuEngine {
+        GpuEngine::configured(
+            Device::p100(),
+            LaunchOptions::default(),
+            DEFAULT_POOL_BYTES,
+            Some(registry),
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn configured(
+        device: Device,
+        options: LaunchOptions,
+        pool_capacity_bytes: usize,
+        registry: Option<&Registry>,
+    ) -> GpuEngine {
+        GpuEngine {
+            inner: Arc::new(EngineInner {
+                device,
+                options,
+                pool: DevicePool::new(pool_capacity_bytes),
+                instruments: registry.map(GpuInstruments::new),
+            }),
+        }
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &Device {
+        &self.inner.device
+    }
+
+    /// The device-resident surface pool.
+    pub fn pool(&self) -> &DevicePool {
+        &self.inner.pool
+    }
+
+    /// Evaluates `state` at `block` on the device: ensures the surface
+    /// is resident (upload-once/reuse through the pool), runs one
+    /// simulated launch per 64-point chunk, and records telemetry.
+    /// Results are bitwise equal to the scalar CPU batch kernel.
+    pub fn evaluate_batch(
+        &self,
+        state: &CompressedState,
+        block: &PointBlock,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) -> Result<GpuRun, crate::GpuError> {
+        let inner = &*self.inner;
+        let residency = inner
+            .pool
+            .ensure_resident(state, inner.device.pcie_bandwidth);
+        let timing = interpolate_block(&inner.device, &inner.options, state, block, scratch, out)?;
+        if let Some(ins) = &inner.instruments {
+            if residency.reused {
+                ins.pool_hits.inc();
+            } else {
+                ins.uploads.inc();
+                ins.upload_seconds.record(residency.upload_seconds);
+            }
+            if residency.evicted > 0 {
+                ins.pool_evictions.add(residency.evicted as u64);
+            }
+            ins.pool_resident_bytes
+                .set(inner.pool.resident_bytes() as u64);
+            if timing.launches > 0 {
+                ins.launches.add(timing.launches as u64);
+                ins.occupancy.set((timing.occupancy * 100.0).round() as u64);
+                ins.kernel_seconds.record(timing.modeled_seconds);
+            }
+        }
+        Ok(GpuRun {
+            timing,
+            upload_seconds: residency.upload_seconds,
+            reused: residency.reused,
+        })
+    }
+}
+
+impl Default for GpuEngine {
+    fn default() -> Self {
+        GpuEngine::new()
+    }
+}
+
+impl std::fmt::Debug for GpuEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuEngine")
+            .field("device", &self.inner.device.name)
+            .field("resident_surfaces", &self.inner.pool.resident_surfaces())
+            .field("resident_bytes", &self.inner.pool.resident_bytes())
+            .finish()
+    }
+}
+
+/// Which engine evaluates `PointBlock` batches. Carried by
+/// `DriverConfig`/`ExecutorConfig`; `Cpu` preserves the pre-backend
+/// behaviour exactly.
+#[derive(Clone, Debug, Default)]
+pub enum ExecutionBackend {
+    /// The host kernels, dispatched by `KernelKind` (the default).
+    #[default]
+    Cpu,
+    /// The simulated device through a shared [`GpuEngine`].
+    Gpu(GpuEngine),
+}
+
+impl ExecutionBackend {
+    /// A GPU backend with a fresh default engine.
+    pub fn gpu() -> ExecutionBackend {
+        ExecutionBackend::Gpu(GpuEngine::new())
+    }
+
+    /// Whether this is the GPU backend.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, ExecutionBackend::Gpu(_))
+    }
+
+    /// Short name for logs and bench rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionBackend::Cpu => "cpu",
+            ExecutionBackend::Gpu(_) => "gpu",
+        }
+    }
+
+    /// Evaluates a compressed interpolant at a whole block. `Cpu`
+    /// dispatches through `kernel` (crossover routing included); `Gpu`
+    /// runs the device engine, whose results are bitwise equal to the
+    /// scalar CPU batch path. If the device rejects the launch (e.g.
+    /// base tiles exceed shared memory), the block falls back to the
+    /// scalar CPU batch kernel — identical values, host-side cost.
+    pub fn evaluate_batch(
+        &self,
+        kernel: KernelKind,
+        state: &CompressedState,
+        block: &PointBlock,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        match self {
+            ExecutionBackend::Cpu => kernel.evaluate_compressed_batch(state, block, scratch, out),
+            ExecutionBackend::Gpu(engine) => {
+                if engine.evaluate_batch(state, block, scratch, out).is_err() {
+                    hddm_kernels::batch::interpolate_batch(state, block, scratch, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hddm_asg::{hierarchize, regular_grid, tabulate};
+
+    fn make_state(dim: usize, n: u8, ndofs: usize) -> CompressedState {
+        let grid = regular_grid(dim, n);
+        let mut surplus = tabulate(&grid, ndofs, |x, out| {
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = x.iter().sum::<f64>() * (k + 1) as f64 + (k as f64).cos();
+            }
+        });
+        hierarchize(&grid, &mut surplus, ndofs);
+        CompressedState::new(&grid, &surplus, ndofs)
+    }
+
+    #[test]
+    fn backend_dispatch_matches_scalar_batch() {
+        let state = make_state(3, 3, 5);
+        let rows: Vec<f64> = (0..9 * 3)
+            .map(|k| (k as f64 * 0.173 + 0.01) % 1.0)
+            .collect();
+        let block = PointBlock::from_rows(3, &rows);
+        let mut scratch = Scratch::default();
+        let mut want = vec![0.0; 9 * 5];
+        hddm_kernels::batch::interpolate_batch(&state, &block, &mut scratch, &mut want);
+        let mut got = vec![0.0; 9 * 5];
+        ExecutionBackend::gpu().evaluate_batch(
+            KernelKind::X86,
+            &state,
+            &block,
+            &mut scratch,
+            &mut got,
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn engine_records_registry_telemetry() {
+        let registry = Registry::new();
+        let engine = GpuEngine::with_registry(&registry);
+        let state = make_state(3, 3, 4);
+        let rows: Vec<f64> = (0..70 * 3)
+            .map(|k| (k as f64 * 0.091 + 0.02) % 1.0)
+            .collect();
+        let block = PointBlock::from_rows(3, &rows);
+        let mut scratch = Scratch::default();
+        let mut out = vec![0.0; 70 * 4];
+        let first = engine
+            .evaluate_batch(&state, &block, &mut scratch, &mut out)
+            .unwrap();
+        assert!(!first.reused);
+        let second = engine
+            .evaluate_batch(&state, &block, &mut scratch, &mut out)
+            .unwrap();
+        assert!(second.reused);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(metric::UPLOADS), Some(1));
+        assert_eq!(snap.counter(metric::POOL_HITS), Some(1));
+        // 70 points ⇒ 2 chunks per call ⇒ 4 launches over both calls.
+        assert_eq!(snap.counter(metric::LAUNCHES), Some(4));
+        assert!(snap.gauge(metric::OCCUPANCY).unwrap() > 0);
+        assert!(snap.gauge(metric::POOL_RESIDENT_BYTES).unwrap() > 0);
+        assert!(snap.histogram(metric::UPLOAD_SECONDS).is_some());
+        assert!(snap.histogram(metric::KERNEL_SECONDS).is_some());
+    }
+}

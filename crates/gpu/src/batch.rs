@@ -1,0 +1,444 @@
+//! The batched `cuda` kernel: one simulated launch per 64-point
+//! [`PointBlock`] chunk, mapped onto the device model the way Sec. V-A
+//! maps the single-point kernel — and restructured exactly like the CPU
+//! batch engine (`hddm_kernels::batch`), so the device walks each
+//! compressed chain **once per chunk** instead of once per point:
+//!
+//! * the chunk's SoA coordinate tile (`dim × 64` doubles) is staged in
+//!   per-block shared memory; the `xpv` basis tile (`nxps × 64`) joins it
+//!   when the budget allows, otherwise basis columns spill to DRAM;
+//! * each xps entry's nonzero-lane mask is a **warp-level ballot** (two
+//!   32-lane ballots per 64-point chunk): the AND of a chain's factor
+//!   ballots prunes whole-chunk-dead chains before any floating-point
+//!   work — the batched analogue of the single-point early exit;
+//! * surviving chains compute their 64-wide products and reduce each
+//!   surplus row into the alive lanes' output rows per warp (the
+//!   `RowAccum` shape of the CPU engine).
+//!
+//! Execution is **bitwise identical** to the scalar CPU batch kernel
+//! (`hddm_kernels::batch::interpolate_batch`): same basis expression,
+//! same chain-walk order, same accumulation order per point. Timing
+//! comes from the device model (roofline + PCIe transfers + one launch
+//! latency per chunk).
+
+use hddm_asg::linear_basis;
+use hddm_kernels::{CompressedState, PointBlock, Scratch, BATCH_CHUNK};
+
+use crate::device::{Device, GpuError};
+use crate::kernel::LaunchOptions;
+
+/// Cost/occupancy report of a batched block evaluation (all launches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchTiming {
+    /// Modeled wall seconds: per-chunk launch latency + point/result
+    /// PCIe transfers + roofline kernel time. Surface upload is *not*
+    /// included — that is the device pool's one-time cost.
+    pub modeled_seconds: f64,
+    /// Simulated kernel launches (one per [`BATCH_CHUNK`]-point chunk).
+    pub launches: usize,
+    /// Blocks per launch (chains distributed across ≤ one wave).
+    pub blocks: usize,
+    /// Occupancy waves per launch (1 = the paper's target).
+    pub waves: usize,
+    /// Achieved occupancy: resident threads over the device's
+    /// thread-residency limit, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Bytes moved through device memory.
+    pub dram_bytes: f64,
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Whether the `xpv` basis tile fit the shared-memory budget
+    /// alongside the coordinate tile (else it spilled to DRAM).
+    pub xpv_staged: bool,
+}
+
+/// Per-launch shared-memory plan for a chunk of `chunk` points.
+struct SharedPlan {
+    /// `xpv` tile resident in shared memory (vs spilled to DRAM).
+    xpv_staged: bool,
+}
+
+/// Derives the shared-memory mapping of one chunk launch: the
+/// coordinate tile, ballot table and product tile must fit (else the
+/// kernel cannot launch at all); the `nxps × chunk` basis tile is
+/// staged only when it also fits — on the paper's grids (473 xps ⇒
+/// ~242 KB per 64-point tile vs a 48 KB budget) it usually does not,
+/// and the walk re-reads basis columns from DRAM instead.
+fn plan_shared(
+    device: &Device,
+    options: &LaunchOptions,
+    dim: usize,
+    nxps: usize,
+    chunk: usize,
+) -> Result<SharedPlan, GpuError> {
+    let f64s = std::mem::size_of::<f64>();
+    // Coordinate tile + per-entry ballot words + product tile.
+    let base = dim * chunk * f64s + nxps * 8 + chunk * f64s;
+    if base > device.shared_mem_per_block {
+        return Err(GpuError::SharedMemoryExceeded {
+            needed: base,
+            available: device.shared_mem_per_block,
+        });
+    }
+    let xpv_bytes = nxps * chunk * f64s;
+    Ok(SharedPlan {
+        xpv_staged: options.stage_xpv_shared && base + xpv_bytes <= device.shared_mem_per_block,
+    })
+}
+
+/// Evaluates a compressed interpolant at a whole [`PointBlock`] on the
+/// simulated device: one kernel launch per [`BATCH_CHUNK`]-point chunk,
+/// chains distributed across ≤ one wave of blocks per launch. `out` is
+/// point-major `npts × ndofs`. Results are bitwise equal to the scalar
+/// CPU batch kernel ([`hddm_kernels::batch::interpolate_batch`]); the
+/// returned [`BatchTiming`] aggregates the modeled cost of every launch.
+pub fn interpolate_block(
+    device: &Device,
+    options: &LaunchOptions,
+    state: &CompressedState,
+    block: &PointBlock,
+    scratch: &mut Scratch,
+    out: &mut [f64],
+) -> Result<BatchTiming, GpuError> {
+    let cg = &state.grid;
+    let ndofs = state.ndofs;
+    assert_eq!(block.dim(), cg.dim(), "point/grid dim mismatch");
+    assert_eq!(
+        out.len(),
+        block.len() * ndofs,
+        "output must be npts × ndofs"
+    );
+
+    let bs = options.block_size;
+    if bs == 0 || bs > device.max_threads_per_block {
+        return Err(GpuError::BlockTooLarge {
+            requested: bs,
+            maximum: device.max_threads_per_block,
+        });
+    }
+
+    let npts = block.len();
+    let xps = cg.xps();
+    let nno = cg.nno();
+    let nfreq = cg.nfreq();
+    let chains = cg.chains();
+    let surplus = &state.surplus;
+
+    // Launch geometry: the chain axis is distributed across as many
+    // blocks as stay resident in one wave (the single-point kernel's
+    // strategy, unchanged — the point axis lives inside the chunk).
+    let max_blocks = device.max_concurrent_blocks_for(bs);
+    let grid_size = max_blocks.min(nno.max(1));
+    let waves = grid_size.div_ceil(max_blocks).max(1);
+    let resident_blocks = grid_size.min(max_blocks);
+    let occupancy =
+        (resident_blocks * bs) as f64 / (device.sm_count * device.max_threads_per_sm) as f64;
+
+    out.fill(0.0);
+    let mut timing = BatchTiming {
+        blocks: grid_size,
+        waves,
+        occupancy,
+        xpv_staged: true,
+        ..BatchTiming::default()
+    };
+    if npts == 0 {
+        return Ok(timing);
+    }
+
+    let f64s = std::mem::size_of::<f64>() as f64;
+    let mut at = 0usize;
+    while at < npts {
+        let chunk = (npts - at).min(BATCH_CHUNK);
+        let plan = plan_shared(device, options, block.dim(), xps.len(), chunk)?;
+        timing.xpv_staged &= plan.xpv_staged;
+        let (xpvb, temps, colmask) = scratch.prepare_batch(xps.len(), chunk);
+        let full = if chunk == 64 {
+            u64::MAX
+        } else {
+            (1u64 << chunk) - 1
+        };
+
+        // Basis fill + ballots: same arithmetic (and same `colmask`
+        // sentinel) as the CPU batch engine's loop 1, so values are
+        // bitwise identical. Two 32-lane ballots per entry build the
+        // nonzero-lane word of a 64-point chunk.
+        let warps = chunk.div_ceil(32);
+        for (e, entry) in xps.iter().enumerate() {
+            let xs = &block.column(entry.index as usize)[at..at + chunk];
+            let slot = &mut xpvb[e * chunk..(e + 1) * chunk];
+            let mut m = 0u64;
+            for k in 0..chunk {
+                let v = linear_basis(xs[k], entry.l, entry.i).max(0.0);
+                slot[k] = v;
+                m |= ((v != 0.0) as u64) << k;
+            }
+            colmask[e] = m;
+        }
+        colmask[0] = full;
+
+        // Chain walk with ballot pruning — loop 2 of the CPU batch
+        // engine verbatim, plus the launch's cost counters.
+        let mut factor_cols = 0usize; // basis columns streamed by survivors
+        let mut rows_touched = 0usize; // surplus rows accumulated
+        let mut alive_pairs = 0usize; // (chain, point) accumulations
+        for (p, chain) in chains.chunks_exact(nfreq).enumerate() {
+            let len = chain.iter().position(|&i| i == 0).unwrap_or(nfreq);
+            let mut bound = full;
+            for &idx in &chain[..len] {
+                bound &= colmask[idx as usize];
+            }
+            if bound == 0 {
+                continue;
+            }
+            factor_cols += len.max(1);
+            let mut mask = 0u64;
+            match len {
+                0 => {
+                    temps[..chunk].fill(1.0);
+                    mask = full;
+                }
+                1 => {
+                    let c0 = &xpvb[chain[0] as usize * chunk..][..chunk];
+                    for k in 0..chunk {
+                        let v = c0[k];
+                        temps[k] = v;
+                        mask |= ((v != 0.0) as u64) << k;
+                    }
+                }
+                2 => {
+                    let c0 = &xpvb[chain[0] as usize * chunk..][..chunk];
+                    let c1 = &xpvb[chain[1] as usize * chunk..][..chunk];
+                    for k in 0..chunk {
+                        let v = c0[k] * c1[k];
+                        temps[k] = v;
+                        mask |= ((v != 0.0) as u64) << k;
+                    }
+                }
+                _ => {
+                    let c0 = &xpvb[chain[0] as usize * chunk..][..chunk];
+                    let c1 = &xpvb[chain[1] as usize * chunk..][..chunk];
+                    for k in 0..chunk {
+                        temps[k] = c0[k] * c1[k];
+                    }
+                    for &idx in &chain[2..len - 1] {
+                        let col = &xpvb[idx as usize * chunk..][..chunk];
+                        for (t, &v) in temps[..chunk].iter_mut().zip(col) {
+                            *t *= v;
+                        }
+                    }
+                    let last = &xpvb[chain[len - 1] as usize * chunk..][..chunk];
+                    for k in 0..chunk {
+                        let w = temps[k] * last[k];
+                        temps[k] = w;
+                        mask |= ((w != 0.0) as u64) << k;
+                    }
+                }
+            }
+            if mask == 0 {
+                continue;
+            }
+            rows_touched += 1;
+            alive_pairs += mask.count_ones() as usize;
+            // Per-warp RowAccum: each alive lane's output row receives
+            // `temp · surplus_row` — ascending lane order, the scalar
+            // accumulator's walk, so summation order matches bitwise.
+            let row = &surplus[p * ndofs..(p + 1) * ndofs];
+            let mut m = mask;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let temp = temps[k];
+                let slot = &mut out[(at + k) * ndofs..(at + k) * ndofs + ndofs];
+                for (o, s) in slot.iter_mut().zip(row) {
+                    *o += temp * s;
+                }
+            }
+        }
+
+        // --- Roofline cost of this launch.
+        // DRAM: chain indices for every chain, surplus rows of chains
+        // with at least one alive lane, and the chunk's output rows.
+        let mut dram = (nno * nfreq * 4) as f64
+            + (rows_touched * ndofs) as f64 * f64s
+            + (chunk * ndofs) as f64 * f64s;
+        if !plan.xpv_staged {
+            // Spilled xpv: the fill writes the whole tile to DRAM and
+            // every surviving chain re-streams its factor columns
+            // (coalesced — columns are contiguous in the tile).
+            dram += (xps.len() * chunk) as f64 * f64s + (factor_cols * chunk) as f64 * f64s;
+        }
+        // FLOPs: basis fill (3 ops per entry-lane) + ballot/AND words +
+        // chain products + FMA accumulation. The dof loop issues
+        // warp-granular rounds per alive pair, so ragged ndofs waste
+        // lanes exactly as in the single-point kernel's cost model.
+        let dof_issue_slots = ndofs.div_ceil(32) * 32;
+        let flops = (xps.len() * chunk * 3
+            + xps.len() * warps
+            + nno * nfreq
+            + factor_cols * chunk
+            + alive_pairs * dof_issue_slots * 2) as f64;
+        let kernel_time = (flops / device.fp64_flops).max(dram / device.mem_bandwidth);
+        // PCIe: the chunk's coordinate tile up, its output rows down.
+        let transfer_bytes = (block.dim() * chunk + chunk * ndofs) as f64 * f64s;
+        let transfer = transfer_bytes / device.pcie_bandwidth;
+
+        timing.launches += 1;
+        timing.modeled_seconds += device.launch_latency + transfer + kernel_time * waves as f64;
+        timing.dram_bytes += dram;
+        timing.flops += flops;
+        at += chunk;
+    }
+    Ok(timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hddm_asg::{hierarchize, regular_grid, tabulate};
+
+    fn make_state(dim: usize, n: u8, ndofs: usize) -> CompressedState {
+        let grid = regular_grid(dim, n);
+        let mut surplus = tabulate(&grid, ndofs, |x, out| {
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = x
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &v)| ((t + k + 1) as f64 * v).sin() + v * v)
+                    .sum();
+            }
+        });
+        hierarchize(&grid, &mut surplus, ndofs);
+        CompressedState::new(&grid, &surplus, ndofs)
+    }
+
+    fn probe_rows(dim: usize, count: usize) -> Vec<f64> {
+        (0..count * dim)
+            .map(|s| ((s * 29 + 7) as f64 * 0.01937 + 0.003) % 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn gpu_batch_is_bitwise_scalar_batch() {
+        let state = make_state(4, 3, 7);
+        let rows = probe_rows(4, BATCH_CHUNK + 13);
+        let block = PointBlock::from_rows(4, &rows);
+        let n = block.len();
+        let mut scratch = Scratch::default();
+        let mut want = vec![0.0; n * 7];
+        hddm_kernels::batch::interpolate_batch(&state, &block, &mut scratch, &mut want);
+        let mut got = vec![0.0; n * 7];
+        let timing = interpolate_block(
+            &Device::p100(),
+            &LaunchOptions::default(),
+            &state,
+            &block,
+            &mut scratch,
+            &mut got,
+        )
+        .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(timing.launches, 2, "two 64-point chunks ⇒ two launches");
+        assert_eq!(timing.waves, 1);
+        assert!(timing.occupancy > 0.0 && timing.occupancy <= 1.0);
+    }
+
+    #[test]
+    fn chunk_launch_count_and_empty_block() {
+        let state = make_state(3, 3, 5);
+        let mut scratch = Scratch::default();
+        let mut out: Vec<f64> = Vec::new();
+        let empty = PointBlock::new(3);
+        let t = interpolate_block(
+            &Device::p100(),
+            &LaunchOptions::default(),
+            &state,
+            &empty,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(t.launches, 0);
+        assert_eq!(t.modeled_seconds, 0.0);
+
+        for (npts, launches) in [(1usize, 1usize), (64, 1), (65, 2), (256, 4)] {
+            let rows = probe_rows(3, npts);
+            let block = PointBlock::from_rows(3, &rows);
+            let mut out = vec![0.0; npts * 5];
+            let t = interpolate_block(
+                &Device::p100(),
+                &LaunchOptions::default(),
+                &state,
+                &block,
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(t.launches, launches, "npts={npts}");
+        }
+    }
+
+    #[test]
+    fn spilled_xpv_costs_more_dram_not_different_values() {
+        // A grid whose xpv tile (nxps × 64 doubles) overflows 48 KB.
+        let state = make_state(4, 4, 8);
+        let rows = probe_rows(4, 64);
+        let block = PointBlock::from_rows(4, &rows);
+        let mut scratch = Scratch::default();
+        let device = Device::p100();
+        let mut small = device.clone();
+        // Room for the base tiles but never the xpv tile.
+        small.shared_mem_per_block = 8 * 1024;
+        let mut a = vec![0.0; 64 * 8];
+        let mut b = vec![0.0; 64 * 8];
+        let opts = LaunchOptions::default();
+        let t_big =
+            interpolate_block(&device, &opts, &state, &block, &mut scratch, &mut a).unwrap();
+        let t_small =
+            interpolate_block(&small, &opts, &state, &block, &mut scratch, &mut b).unwrap();
+        assert_eq!(a, b, "staging is a cost-model choice, never a value change");
+        assert!(!t_small.xpv_staged);
+        assert!(t_small.dram_bytes > t_big.dram_bytes);
+        assert!(t_small.modeled_seconds >= t_big.modeled_seconds);
+    }
+
+    #[test]
+    fn base_tiles_must_fit_shared_memory() {
+        let state = make_state(4, 3, 4);
+        let rows = probe_rows(4, 8);
+        let block = PointBlock::from_rows(4, &rows);
+        let mut scratch = Scratch::default();
+        let mut tiny = Device::p100();
+        tiny.shared_mem_per_block = 64;
+        let mut out = vec![0.0; 8 * 4];
+        let r = interpolate_block(
+            &tiny,
+            &LaunchOptions::default(),
+            &state,
+            &block,
+            &mut scratch,
+            &mut out,
+        );
+        assert!(matches!(r, Err(GpuError::SharedMemoryExceeded { .. })));
+    }
+
+    #[test]
+    fn oversized_block_size_is_rejected() {
+        let state = make_state(2, 2, 2);
+        let block = PointBlock::from_rows(2, &probe_rows(2, 4));
+        let mut scratch = Scratch::default();
+        let mut out = vec![0.0; 4 * 2];
+        let r = interpolate_block(
+            &Device::p100(),
+            &LaunchOptions {
+                block_size: 4096,
+                stage_xpv_shared: true,
+            },
+            &state,
+            &block,
+            &mut scratch,
+            &mut out,
+        );
+        assert!(matches!(r, Err(GpuError::BlockTooLarge { .. })));
+    }
+}

@@ -12,8 +12,14 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod batch;
 pub mod device;
 pub mod kernel;
+pub mod pool;
 
+pub use backend::{ExecutionBackend, GpuEngine, GpuRun, DEFAULT_POOL_BYTES};
+pub use batch::{interpolate_block, BatchTiming};
 pub use device::{Device, GpuError};
 pub use kernel::{CudaInterpolator, KernelTiming, LaunchConfig, LaunchOptions};
+pub use pool::{device_bytes, DevicePool, Residency, SurfaceId};

@@ -1,0 +1,197 @@
+//! Golden-value equivalence for the GPU backend, joining the kernel
+//! suite's contract: on randomized adaptive grids with randomized
+//! surpluses and evaluation points (seeded `ChaCha8Rng`), the batched
+//! device kernel must be **bitwise** equal to the scalar single-point
+//! `x86` kernel (the offload is an exact reformulation, never an
+//! approximation) and within ≤ 1e-12 of the dense `gold` baseline —
+//! across block widths 1/7/64/256 and ragged ndofs. Device-pool
+//! residency (upload-once/reuse, evictions) must never change values.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use hddm_asg::{basis, hierarchize, regular_grid, tabulate, ActiveCoord, NodeKey, SparseGrid};
+use hddm_gpu::{interpolate_block, Device, ExecutionBackend, GpuEngine, LaunchOptions};
+use hddm_kernels::{gold, x86, CompressedState, DenseState, KernelKind, PointBlock, Scratch};
+
+const TOL: f64 = 1e-12;
+
+/// A random ancestor-closed adaptive grid in `dim` dimensions.
+fn random_grid(dim: usize, nodes: usize, rng: &mut ChaCha8Rng) -> SparseGrid {
+    let mut grid = SparseGrid::new(dim);
+    grid.insert(NodeKey::root());
+    for _ in 0..nodes {
+        let actives = rng.gen_range(1..=3.min(dim));
+        let mut coords: Vec<ActiveCoord> = Vec::new();
+        for _ in 0..actives {
+            let d = rng.gen_range(0..dim) as u16;
+            if coords.iter().any(|c| c.dim == d) {
+                continue;
+            }
+            let level = rng.gen_range(2..=5u32) as u8;
+            let indices = basis::level_indices(level);
+            let index = indices[rng.gen_range(0..indices.len())];
+            coords.push(ActiveCoord {
+                dim: d,
+                level,
+                index,
+            });
+        }
+        grid.insert_closed(NodeKey::from_coords(coords));
+    }
+    grid
+}
+
+fn random_surplus(grid: &SparseGrid, ndofs: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    (0..grid.len() * ndofs)
+        .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+        .collect()
+}
+
+fn random_rows(dim: usize, npts: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    (0..npts * dim).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// GPU batched kernel vs scalar single-point (bitwise) and gold
+/// (≤ 1e-12), over random adaptive grids × block widths 1/7/64/256 ×
+/// ragged ndofs.
+#[test]
+fn gpu_backend_joins_the_kernel_golden_suite() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x6B00);
+    let device = Device::p100();
+    let options = LaunchOptions::default();
+    for round in 0..12 {
+        let dim = rng.gen_range(2..=5usize);
+        // Ragged on purpose: never a multiple of a lane or warp width.
+        let ndofs = [1usize, 3, 5, 7, 11][rng.gen_range(0..5usize)];
+        let grid = random_grid(dim, rng.gen_range(0..10), &mut rng);
+        let surplus = random_surplus(&grid, ndofs, &mut rng);
+        let dense = DenseState::new(&grid, surplus.clone(), ndofs);
+        let compressed = CompressedState::new(&grid, &surplus, ndofs);
+        let mut scratch = Scratch::default();
+        for npts in [1usize, 7, 64, 256] {
+            let rows = random_rows(dim, npts, &mut rng);
+            let block = PointBlock::from_rows(dim, &rows);
+            let mut got = vec![0.0; npts * ndofs];
+            interpolate_block(
+                &device,
+                &options,
+                &compressed,
+                &block,
+                &mut scratch,
+                &mut got,
+            )
+            .expect("paper-scale grids launch cleanly");
+            let mut single = vec![0.0; ndofs];
+            let mut want_gold = vec![0.0; ndofs];
+            for p in 0..npts {
+                let x = &rows[p * dim..(p + 1) * dim];
+                x86::interpolate(&compressed, x, &mut scratch, &mut single);
+                assert_eq!(
+                    &got[p * ndofs..(p + 1) * ndofs],
+                    &single[..],
+                    "round {round} npts {npts} point {p}: gpu vs scalar must be bitwise"
+                );
+                gold::interpolate(&dense, x, &mut want_gold);
+                for k in 0..ndofs {
+                    assert!(
+                        (got[p * ndofs + k] - want_gold[k]).abs() <= TOL,
+                        "round {round} npts {npts} point {p} dof {k}: {} vs gold {}",
+                        got[p * ndofs + k],
+                        want_gold[k]
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn smooth_state(dim: usize, level: u8, ndofs: usize) -> CompressedState {
+    let grid = regular_grid(dim, level);
+    let mut surplus = tabulate(&grid, ndofs, |x, out| {
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = x
+                .iter()
+                .enumerate()
+                .map(|(t, &v)| ((t + k + 1) as f64 * v).sin() + v * v)
+                .sum();
+        }
+    });
+    hierarchize(&grid, &mut surplus, ndofs);
+    CompressedState::new(&grid, &surplus, ndofs)
+}
+
+/// The backend dispatch entry (the seam the driver/serve consumers use)
+/// agrees with every CPU `KernelKind` batch path to ≤ 1e-12 and with the
+/// scalar batch path bitwise.
+#[test]
+fn backend_dispatch_matches_every_cpu_kernel() {
+    let state = smooth_state(4, 3, 7);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x6B01);
+    let rows = random_rows(4, 96, &mut rng);
+    let block = PointBlock::from_rows(4, &rows);
+    let mut scratch = Scratch::default();
+    let gpu = ExecutionBackend::gpu();
+    let mut got = vec![0.0; 96 * 7];
+    gpu.evaluate_batch(KernelKind::X86, &state, &block, &mut scratch, &mut got);
+
+    let mut scalar = vec![0.0; 96 * 7];
+    hddm_kernels::batch::interpolate_batch(&state, &block, &mut scratch, &mut scalar);
+    assert_eq!(got, scalar, "gpu backend vs scalar batch must be bitwise");
+
+    for kind in KernelKind::COMPRESSED {
+        let mut cpu = vec![0.0; 96 * 7];
+        ExecutionBackend::Cpu.evaluate_batch(kind, &state, &block, &mut scratch, &mut cpu);
+        for (i, (&g, &c)) in got.iter().zip(&cpu).enumerate() {
+            assert!(
+                (g - c).abs() <= TOL,
+                "{kind:?} slot {i}: gpu {g} vs cpu {c}"
+            );
+        }
+    }
+}
+
+/// Pool residency is pure cost accounting: a surface evaluates
+/// identically before upload, after reuse, and after being evicted and
+/// re-uploaded.
+#[test]
+fn pool_residency_never_changes_values() {
+    let a = smooth_state(3, 4, 5);
+    let b = smooth_state(3, 5, 5);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x6B02);
+    let rows = random_rows(3, 64, &mut rng);
+    let block = PointBlock::from_rows(3, &rows);
+    let mut scratch = Scratch::default();
+
+    // A pool that can hold exactly one of the two surfaces, forcing an
+    // eviction on every alternation.
+    let engine = GpuEngine::configured(
+        Device::p100(),
+        LaunchOptions::default(),
+        hddm_gpu::device_bytes(&a).max(hddm_gpu::device_bytes(&b)) + 64,
+        None,
+    );
+    let mut first_a = vec![0.0; 64 * 5];
+    let run = engine
+        .evaluate_batch(&a, &block, &mut scratch, &mut first_a)
+        .unwrap();
+    assert!(!run.reused, "first touch uploads");
+
+    let mut first_b = vec![0.0; 64 * 5];
+    let run = engine
+        .evaluate_batch(&b, &block, &mut scratch, &mut first_b)
+        .unwrap();
+    assert!(!run.reused);
+    assert!(engine.pool().evictions() >= 1, "b displaced a");
+
+    // Re-evaluate both after the eviction churn: bitwise identical.
+    let mut again = vec![0.0; 64 * 5];
+    engine
+        .evaluate_batch(&a, &block, &mut scratch, &mut again)
+        .unwrap();
+    assert_eq!(again, first_a);
+    engine
+        .evaluate_batch(&b, &block, &mut scratch, &mut again)
+        .unwrap();
+    assert_eq!(again, first_b);
+}

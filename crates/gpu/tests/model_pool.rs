@@ -1,0 +1,226 @@
+//! hddm-check model of the device-pool residency protocol.
+//!
+//! Mirrors `crates/gpu/src/pool.rs` — `DevicePool::ensure_resident` —
+//! structure-for-structure: one mutex over the whole
+//! lookup → evict → insert transaction, LRU victim selection by the
+//! clock, and byte accounting maintained with the entry list.
+//!
+//! Checked properties:
+//! - **resident-once**: a surface is never resident twice, no matter
+//!   how many requesters race (invariant, checked every step);
+//! - **upload-once**: concurrent requests for one surface with room in
+//!   the pool upload exactly once (the rest reuse);
+//! - **accounting**: `resident_bytes` equals the sum of the resident
+//!   entries' bytes once the requesters join;
+//! - **no deadlock** in any interleaving (single-lock protocol).
+//!
+//! Mutations (the checker must catch each with a replayable trace):
+//! - `ReleaseBetweenLookupAndInsert` — the miss path drops the mutex
+//!   between the lookup and the insert (the classic check-then-act
+//!   split): two racing requesters both miss and both insert → the
+//!   resident-once invariant fires the step it happens;
+//! - `ForgetEvictedBytes` — eviction removes the entry but not its
+//!   bytes: the accounting drifts up until the pool believes it is
+//!   forever full → the post-join accounting assert panics.
+
+use std::sync::Arc;
+
+use hddm_check::{
+    explore, register_invariant, replay, spawn, CheckedAtomicUsize, CheckedMutex, Config,
+    FailureKind,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mutation {
+    None,
+    ReleaseBetweenLookupAndInsert,
+    ForgetEvictedBytes,
+}
+
+struct Entry {
+    id: usize,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    resident_bytes: usize,
+    clock: u64,
+}
+
+/// Model-level `DevicePool`: the mutex-guarded LRU plus per-surface
+/// observability atomics (maintained inside the same critical section,
+/// each transition a single step, so invariants never see torn state).
+struct PoolModel {
+    inner: CheckedMutex<Inner>,
+    capacity: usize,
+    /// Copies of each surface currently resident (the resident-once
+    /// subject; bumped on insert, dropped on evict).
+    resident: Vec<CheckedAtomicUsize>,
+    /// Uploads performed per surface (the upload-once subject).
+    uploads: Vec<CheckedAtomicUsize>,
+    mutation: Mutation,
+}
+
+impl PoolModel {
+    fn new(surfaces: usize, capacity: usize, mutation: Mutation) -> Arc<PoolModel> {
+        Arc::new(PoolModel {
+            inner: CheckedMutex::named(
+                "pool",
+                Inner {
+                    entries: Vec::new(),
+                    resident_bytes: 0,
+                    clock: 0,
+                },
+            ),
+            capacity,
+            resident: (0..surfaces)
+                .map(|s| CheckedAtomicUsize::named(&format!("resident[{s}]"), 0))
+                .collect(),
+            uploads: (0..surfaces)
+                .map(|s| CheckedAtomicUsize::named(&format!("uploads[{s}]"), 0))
+                .collect(),
+            mutation,
+        })
+    }
+
+    /// Mirrors `DevicePool::ensure_resident`. Returns `true` on reuse.
+    fn ensure_resident(&self, id: usize, bytes: usize) -> bool {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(e) = inner.entries.iter_mut().find(|e| e.id == id) {
+            e.last_used = now;
+            return true;
+        }
+        if self.mutation == Mutation::ReleaseBetweenLookupAndInsert {
+            // The check-then-act split: stage the upload outside the
+            // critical section, then re-enter and insert blindly.
+            drop(inner);
+            inner = self.inner.lock();
+        }
+        while inner.resident_bytes + bytes > self.capacity {
+            let Some(lru) = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let gone = inner.entries.swap_remove(lru);
+            if self.mutation != Mutation::ForgetEvictedBytes {
+                inner.resident_bytes -= gone.bytes;
+            }
+            self.resident[gone.id].fetch_sub(1);
+        }
+        inner.resident_bytes += bytes;
+        inner.entries.push(Entry {
+            id,
+            bytes,
+            last_used: now,
+        });
+        self.resident[id].fetch_add(1);
+        self.uploads[id].fetch_add(1);
+        false
+    }
+}
+
+/// Spawns one requester per entry of `requests` (surface id, bytes),
+/// registers the resident-once invariant, and asserts the byte
+/// accounting once every requester joined.
+fn pool_model(mutation: Mutation, capacity: usize, requests: &'static [(usize, usize)]) {
+    let surfaces = 1 + requests.iter().map(|&(s, _)| s).max().unwrap();
+    let m = PoolModel::new(surfaces, capacity, mutation);
+    for s in 0..surfaces {
+        let m2 = Arc::clone(&m);
+        register_invariant(&format!("surface {s} resident at most once"), move || {
+            let n = m2.resident[s].peek();
+            if n <= 1 {
+                Ok(())
+            } else {
+                Err(format!("surface {s} resident {n} times"))
+            }
+        });
+    }
+    let workers: Vec<_> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, &(id, bytes))| {
+            let m = Arc::clone(&m);
+            spawn(&format!("requester-{i}"), move || {
+                m.ensure_resident(id, bytes)
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join();
+    }
+    // Post-join accounting: the byte gauge must equal the entry list.
+    let inner = m.inner.lock();
+    let actual: usize = inner.entries.iter().map(|e| e.bytes).sum();
+    assert_eq!(
+        inner.resident_bytes, actual,
+        "resident_bytes drifted from the entry list"
+    );
+}
+
+#[test]
+fn same_surface_uploads_once_explores_clean() {
+    let report = explore(&Config::new("pool-upload-once"), || {
+        pool_model(Mutation::None, 1000, &[(0, 100), (0, 100), (0, 100)])
+    });
+    let schedules = report.assert_clean();
+    println!(
+        "model pool-upload-once: {schedules} schedules, max {} steps",
+        report.max_steps_seen
+    );
+}
+
+#[test]
+fn eviction_churn_keeps_accounting_clean() {
+    // Capacity for one surface: whichever requester runs second evicts
+    // the first's surface in every schedule.
+    let report = explore(&Config::new("pool-eviction-churn"), || {
+        pool_model(Mutation::None, 150, &[(0, 100), (1, 100), (0, 100)])
+    });
+    let schedules = report.assert_clean();
+    println!("model pool-eviction-churn: {schedules} schedules");
+}
+
+#[test]
+fn mutation_lookup_insert_split_is_double_residency() {
+    let model = || {
+        pool_model(
+            Mutation::ReleaseBetweenLookupAndInsert,
+            1000,
+            &[(0, 100), (0, 100)],
+        )
+    };
+    let report = explore(&Config::new("pool-mut-split"), model);
+    let failure = report
+        .expect_failure(FailureKind::InvariantViolation)
+        .clone();
+    assert!(
+        failure.message.contains("resident 2 times"),
+        "{}",
+        failure.message
+    );
+    let re = replay(&Config::new("pool-mut-split"), &failure.trace, model);
+    let rf = re.expect_failure(FailureKind::InvariantViolation);
+    assert_eq!(rf.message, failure.message);
+    assert_eq!(rf.events, failure.events);
+}
+
+#[test]
+fn mutation_forgotten_evicted_bytes_breaks_accounting() {
+    let model = || pool_model(Mutation::ForgetEvictedBytes, 150, &[(0, 100), (1, 100)]);
+    let report = explore(&Config::new("pool-mut-bytes"), model);
+    let failure = report.expect_failure(FailureKind::Panic).clone();
+    assert!(failure.message.contains("drifted"), "{}", failure.message);
+    let re = replay(&Config::new("pool-mut-bytes"), &failure.trace, model);
+    let rf = re.expect_failure(FailureKind::Panic);
+    assert_eq!(rf.message, failure.message);
+}

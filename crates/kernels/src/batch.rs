@@ -53,6 +53,30 @@ pub const BATCH_CHUNK: usize = 64;
 /// functions bypass the crossover.
 pub const BATCH_CROSSOVER: usize = 2;
 
+/// Grid-size threshold (in compressed grid rows) above which the
+/// dispatch crossover widens. On large grids the surplus matrix no
+/// longer fits in cache, so the batch path's extra setup (xpv block
+/// fill + mask bookkeeping over a long `xps` table) needs more points
+/// to amortize: `BENCH_hotpaths.json` measured the 300k-row case at
+/// 0.94×/0.81× for npts=1/2 but 1.09× at npts=3, while the 7k-row case
+/// is already ≥ 1.12× at npts=2.
+pub const LARGE_GRID_NNO: usize = 100_000;
+
+/// The effective dispatch crossover for a grid with `nno` compressed
+/// rows: blocks narrower than the returned width are routed through the
+/// single-point kernel by
+/// [`KernelKind::evaluate_compressed_batch`](crate::KernelKind).
+/// Grid-size-aware because the break-even point moves with the surplus
+/// working set (see [`LARGE_GRID_NNO`]); both paths stay bitwise
+/// identical per point, so the routing never changes values.
+pub fn batch_crossover(nno: usize) -> usize {
+    if nno >= LARGE_GRID_NNO {
+        3
+    } else {
+        BATCH_CROSSOVER
+    }
+}
+
 // The alive-lane mask of a chunk is a single u64 (bit k ⇔ point k's chain
 // product is non-zero); the chunk width must not outgrow it.
 const _: () = assert!(BATCH_CHUNK <= 64);

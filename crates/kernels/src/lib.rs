@@ -26,7 +26,7 @@ pub mod multi;
 pub mod vector;
 pub mod x86;
 
-pub use batch::{PointBlock, BATCH_CHUNK, BATCH_CROSSOVER};
+pub use batch::{batch_crossover, PointBlock, BATCH_CHUNK, BATCH_CROSSOVER, LARGE_GRID_NNO};
 pub use data::{CompressedState, DenseState, Scratch};
 pub use hashtab::HashState;
 pub use multi::MultiState;
@@ -113,8 +113,10 @@ impl KernelKind {
         // Crossover routing: narrow blocks pay the batch machinery's
         // per-block setup without amortizing it across points, so they
         // run point-by-point through the single-point kernel — bitwise
-        // identical, just without the setup overhead.
-        if !block.is_empty() && block.len() < batch::BATCH_CROSSOVER {
+        // identical, just without the setup overhead. The crossover is
+        // grid-size-aware: large grids need wider blocks to break even
+        // (see [`batch::batch_crossover`]).
+        if !block.is_empty() && block.len() < batch::batch_crossover(state.grid.nno()) {
             let mut row = vec![0.0; block.dim()];
             let ndofs = state.ndofs;
             for p in 0..block.len() {

@@ -41,6 +41,7 @@ use serde::{Deserialize, Serialize};
 use hddm_asg::{hierarchize, regular_grid, BoxDomain};
 use hddm_compress::CompressedGrid;
 use hddm_core::{PolicySet, StateRecord};
+use hddm_gpu::ExecutionBackend;
 use hddm_kernels::{CompressedState, KernelKind, PointBlock, Scratch};
 use hddm_telemetry::{Counter, Gauge, Histogram, Registry};
 
@@ -1008,6 +1009,29 @@ pub fn project_policy(
     start_level: u8,
     kernel: KernelKind,
 ) -> Result<PolicySet, ProjectionError> {
+    project_policy_with(
+        cached,
+        target_lo,
+        target_hi,
+        start_level,
+        kernel,
+        &ExecutionBackend::Cpu,
+    )
+}
+
+/// [`project_policy`] with an explicit [`ExecutionBackend`]: the
+/// per-state batched evaluation of the target grid dispatches through
+/// `backend` (the GPU engine re-uses the cached surface's device
+/// residency across states and requests); `ExecutionBackend::Cpu`
+/// reproduces [`project_policy`] exactly.
+pub fn project_policy_with(
+    cached: &PolicySet,
+    target_lo: &[f64],
+    target_hi: &[f64],
+    start_level: u8,
+    kernel: KernelKind,
+    backend: &ExecutionBackend,
+) -> Result<PolicySet, ProjectionError> {
     let dim = cached.domain.dim();
     if target_lo.len() != dim || target_hi.len() != dim {
         return Err(ProjectionError::DimensionMismatch {
@@ -1043,9 +1067,13 @@ pub fn project_policy(
     let states = (0..cached.states.num_states())
         .map(|z| {
             let mut values = vec![0.0; grid.len() * ndofs];
-            cached
-                .states
-                .evaluate_one_batch(kernel, z, &block, &mut scratch, &mut values);
+            backend.evaluate_batch(
+                kernel,
+                cached.states.state(z),
+                &block,
+                &mut scratch,
+                &mut values,
+            );
             hierarchize(&grid, &mut values, ndofs);
             let reordered = cg.reorder_rows(&values, ndofs);
             CompressedState::from_parts(cg.clone(), reordered, ndofs)

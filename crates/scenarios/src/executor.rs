@@ -37,12 +37,13 @@ use std::time::Instant;
 use hddm_asg::regular_grid_size;
 use hddm_cluster::{mixed_fleet, schedule_with_map, Assignment, WorkerSpec};
 use hddm_core::{DriverConfig, OlgStep, TimeIteration};
+use hddm_gpu::ExecutionBackend;
 use hddm_kernels::KernelKind;
 use hddm_sched::{parallel_for_init, PoolConfig};
 use hddm_solver::NewtonOptions;
 use hddm_telemetry::Registry;
 
-use crate::cache::{project_policy, Lookup, ShapeKey, SurfaceCache};
+use crate::cache::{project_policy_with, Lookup, ShapeKey, SurfaceCache};
 use crate::hash::{fingerprint, scenario_hash, HashId};
 use crate::persist::EvictionPolicy;
 use crate::report::{CacheKind, FleetSummary, ScenarioReport, SweepReport};
@@ -119,6 +120,11 @@ pub struct ExecutorConfig {
     pub threads: usize,
     /// Interpolation kernel for policy evaluations.
     pub kernel: KernelKind,
+    /// Which engine evaluates batched `PointBlock` calls (warm-start
+    /// projection, driver hierarchization/change measurement). The GPU
+    /// variant shares one device pool across every scenario the
+    /// executor runs, so a served surface is uploaded once and re-used.
+    pub backend: ExecutionBackend,
     /// Whether nearby cached surfaces may seed warm starts.
     pub warm_start: bool,
     /// Persistent policy-surface cache directory. `None` keeps the cache
@@ -146,6 +152,7 @@ impl Default for ExecutorConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(1),
             kernel: KernelKind::Avx2,
+            backend: ExecutionBackend::Cpu,
             warm_start: true,
             cache_dir: None,
             cache_eviction: EvictionPolicy::default(),
@@ -199,10 +206,16 @@ fn estimate_cost(scenario: &Scenario, cache: &SurfaceCache) -> f64 {
         .unwrap_or_else(|| analytic_cost(scenario))
 }
 
-fn driver_config(scenario: &Scenario, kernel: KernelKind, telemetry: Registry) -> DriverConfig {
+fn driver_config(
+    scenario: &Scenario,
+    kernel: KernelKind,
+    backend: ExecutionBackend,
+    telemetry: Registry,
+) -> DriverConfig {
     let s = &scenario.solve;
     DriverConfig {
         kernel,
+        backend,
         telemetry: Some(telemetry),
         start_level: s.start_level,
         refine_epsilon: s.refine_epsilon,
@@ -256,15 +269,21 @@ fn solve_one(
         .telemetry
         .clone()
         .unwrap_or_else(|| cache.registry().clone());
-    let dconfig = driver_config(scenario, config.kernel, registry.clone());
+    let dconfig = driver_config(
+        scenario,
+        config.kernel,
+        config.backend.clone(),
+        registry.clone(),
+    );
 
     let (mut ti, cache_tag, warm_source) = match looked_up {
-        Lookup::Warm(surface) => match project_policy(
+        Lookup::Warm(surface) => match project_policy_with(
             &surface.restore_policy(),
             &step.model.lower,
             &step.model.upper,
             scenario.solve.start_level,
             config.kernel,
+            &config.backend,
         ) {
             Ok(projected) => (
                 TimeIteration::with_policy(step, dconfig, projected, 0),

@@ -55,8 +55,8 @@ pub mod report;
 pub mod scenario;
 
 pub use cache::{
-    CacheStats, CachedSurface, Lookup, NeighbourInfo, ProjectionError, RestoreHook, ShapeKey,
-    SurfaceCache,
+    project_policy_with, CacheStats, CachedSurface, Lookup, NeighbourInfo, ProjectionError,
+    RestoreHook, ShapeKey, SurfaceCache,
 };
 pub use executor::{run_batch, run_set, run_single, BatchHandle, ExecutorConfig, ExecutorError};
 pub use hash::{
